@@ -1,0 +1,28 @@
+"""Benchmark E5 — committee election versus the adaptive-safe algorithm.
+
+Regenerates the contrast the paper draws in its introduction: Kapron-style
+committee election finishes in polylogarithmically many rounds against a
+non-adaptive adversary but fails almost surely against an adaptive one,
+whereas the adaptive-safe threshold-voting algorithm needs exponentially
+many windows.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_committee_experiment
+
+
+@pytest.mark.benchmark(group="E5-committee")
+def test_bench_committee_contrast(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_committee_experiment,
+        kwargs={"ns": (32, 64, 128), "trials": 30, "fault_fraction": 0.2,
+                "seed": 6},
+        iterations=1, rounds=1)
+    print_rows("E5: committee election vs adaptive-safe agreement", rows)
+    for row in rows:
+        assert row["adaptive_failure_rate"] >= 0.9
+        assert row["nonadaptive_failure_rate"] <= row["adaptive_failure_rate"]
+        assert row["committee_rounds"] < row["adaptive_safe_expected_windows"]
+    # Committee rounds grow slowly (polylog) with n.
+    assert rows[-1]["committee_rounds"] <= rows[0]["committee_rounds"] * 4

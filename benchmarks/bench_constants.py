@@ -1,0 +1,26 @@
+"""Benchmark E8 — Theorem 5 constants and numerical Talagrand verification.
+
+Regenerates the predicted lower-bound curves ``E = C * exp(alpha * n)`` for
+several fault fractions (including the adversary's success probability,
+which Theorem 5 shows is at least 1/2), plus exact verifications of
+Lemma 9 on concrete product spaces.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_constants_experiment
+
+
+@pytest.mark.benchmark(group="E8-constants")
+def test_bench_lower_bound_constants(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_constants_experiment,
+        kwargs={"cs": (0.05, 0.1, 1.0 / 6.0), "ns": (50, 100, 200, 400),
+                "seed": 9},
+        iterations=1, rounds=1)
+    print_rows("E8: Theorem 5 constants and Talagrand spot checks", rows)
+    curve_rows = [row for row in rows if row["experiment"] == "E8"]
+    talagrand_rows = [row for row in rows
+                      if row["experiment"] == "E8-talagrand"]
+    assert all(row["success_probability"] >= 0.5 for row in curve_rows)
+    assert all(row["inequality_holds"] for row in talagrand_rows)

@@ -1,0 +1,27 @@
+"""Benchmark E4 — Theorem 17: crash-model slowdown of forgetful algorithms.
+
+Regenerates the "message-chain length until first decision versus n" series
+for Ben-Or (a forgetful, fully communicative algorithm) against the
+vote-splitting crash-model adversary.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_crash_forgetful_experiment
+
+
+@pytest.mark.benchmark(group="E4-crash-forgetful")
+def test_bench_ben_or_message_chain_growth(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_crash_forgetful_experiment,
+        kwargs={"ns": (9, 13, 17, 21), "trials": 8, "fault_fraction": 0.25,
+                "seed": 5},
+        iterations=1, rounds=1)
+    print_rows("E4: Ben-Or message-chain length under the crash-model "
+               "adversary", rows)
+    data = [row for row in rows if row["experiment"] == "E4"]
+    fit = [row for row in rows if row["experiment"] == "E4-fit"]
+    assert all(row["forgetful"] and row["fully_communicative"]
+               for row in data)
+    assert data[-1]["mean_message_chain"] > data[0]["mean_message_chain"]
+    assert fit and fit[0]["fit_growth_rate_per_processor"] > 0

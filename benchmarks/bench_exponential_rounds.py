@@ -1,0 +1,41 @@
+"""Benchmark E2 — exponential running time against the split-vote adversary.
+
+Regenerates the "windows until first decision versus n" series for split
+inputs under the strongly adaptive (vote-splitting + resetting) adversary,
+together with the analytic prediction and the exponential fit.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_exponential_rounds_experiment
+
+
+@pytest.mark.benchmark(group="E2-exponential-rounds")
+def test_bench_exponential_windows_vs_n(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_exponential_rounds_experiment,
+        kwargs={"ns": (12, 16, 20, 24), "trials": 4, "use_resets": True,
+                "seed": 2},
+        iterations=1, rounds=1)
+    print_rows("E2: windows to first decision (split inputs, strongly "
+               "adaptive adversary)", rows)
+    data = [row for row in rows if row["experiment"] == "E2"]
+    fit = [row for row in rows if row["experiment"] == "E2-fit"]
+    # Split inputs are slower than unanimous ones at every size, and the
+    # fitted growth rate across n is positive (exponential shape).
+    assert all(row["mean_windows"] >= row["unanimous_mean_windows"]
+               for row in data)
+    assert fit and fit[0]["fit_growth_rate_per_processor"] > 0
+
+
+@pytest.mark.benchmark(group="E2-exponential-rounds")
+def test_bench_exponential_windows_without_resets(benchmark, print_rows):
+    """Ablation: scheduling power alone (no resets) already forces the blowup."""
+    rows = benchmark.pedantic(
+        run_exponential_rounds_experiment,
+        kwargs={"ns": (12, 16, 20), "trials": 3, "use_resets": False,
+                "seed": 3},
+        iterations=1, rounds=1)
+    print_rows("E2 (ablation): split-vote adversary without resets", rows)
+    data = [row for row in rows if row["experiment"] == "E2"]
+    assert data[-1]["mean_windows"] > data[0]["unanimous_mean_windows"]

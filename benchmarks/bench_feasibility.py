@@ -1,0 +1,38 @@
+"""Benchmark E1 — Theorem 4 feasibility sweep.
+
+Regenerates the correctness/termination table of the reset-tolerant
+algorithm against the strongly adaptive adversaries (benign, random,
+silencing, split-vote, adaptive-resetting) across workloads.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_feasibility_experiment
+
+
+@pytest.mark.benchmark(group="E1-feasibility")
+def test_bench_feasibility_sweep(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_feasibility_experiment,
+        kwargs={"ns": (12, 18), "trials": 2, "max_windows": 4000, "seed": 1},
+        iterations=1, rounds=1)
+    print_rows("E1: feasibility against the strongly adaptive adversary",
+               rows)
+    assert all(row["agreement_ok"] and row["validity_ok"]
+               and row["terminated"] for row in rows)
+
+
+@pytest.mark.benchmark(group="E1-feasibility")
+def test_bench_feasibility_single_window_unanimous(benchmark):
+    """Micro-benchmark: one full window of the reset-tolerant protocol."""
+    from repro.adversaries.benign import BenignAdversary
+    from repro.core.reset_tolerant import ResetTolerantAgreement
+    from repro.simulation.windows import run_execution
+
+    def run_once():
+        return run_execution(ResetTolerantAgreement, n=24, t=3,
+                             inputs=[1] * 24, adversary=BenignAdversary(),
+                             max_windows=2, seed=3)
+
+    result = benchmark(run_once)
+    assert result.decided

@@ -1,0 +1,25 @@
+"""Benchmark E3 — the Theorem 5 lower-bound machinery at small n.
+
+Regenerates the numerical checks of the proof's ingredients: Hamming
+separation of the base decision sets (Lemma 11), the Talagrand thresholds
+(Lemma 13), the hybrid-window interpolation (Lemma 14) and the input
+interpolation from the proof of Theorem 5.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_lower_bound_experiment
+
+
+@pytest.mark.benchmark(group="E3-lower-bound")
+def test_bench_lower_bound_machinery(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_lower_bound_experiment,
+        kwargs={"ns": (8, 12), "samples": 5, "separation_trials": 8,
+                "seed": 4},
+        iterations=1, rounds=1)
+    print_rows("E3: lower-bound machinery checks", rows)
+    assert all(row["separation_holds"] for row in rows)
+    assert all(row["decision_set_min_distance"] > row["t"] for row in rows)
+    assert all(0.0 <= row["hybrid_best_worst_probability"] <= 1.0
+               for row in rows)

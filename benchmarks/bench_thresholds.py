@@ -1,0 +1,26 @@
+"""Benchmark E7 — threshold ablation for the Theorem 4 constraints.
+
+Regenerates the table showing that the Theorem 4 threshold constraints are
+necessary: valid settings never violate agreement or validity, while
+selected violations lead to disagreement (under the polarizing adversary) or
+to non-termination within the window budget.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_threshold_ablation
+
+
+@pytest.mark.benchmark(group="E7-thresholds")
+def test_bench_threshold_ablation(benchmark, print_rows):
+    rows = benchmark.pedantic(
+        run_threshold_ablation,
+        kwargs={"n": 18, "trials": 2, "max_windows": 1500, "seed": 8},
+        iterations=1, rounds=1)
+    print_rows("E7: threshold ablation", rows)
+    valid_rows = [row for row in rows if row["constraints_ok"]]
+    invalid_rows = [row for row in rows if not row["constraints_ok"]]
+    assert all(row["agreement_ok"] and row["validity_ok"]
+               for row in valid_rows)
+    assert any((not row["agreement_ok"]) or row["decided_runs"] == 0
+               for row in invalid_rows)

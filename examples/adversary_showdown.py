@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Adversary showdown: every protocol against every adversary it tolerates.
+
+This example exercises the whole protocol zoo:
+
+* the paper's reset-tolerant algorithm against the strongly adaptive
+  adversaries (benign, silencing, split-vote, adaptive-resetting);
+* Ben-Or against crash adversaries (crash-at-start, crash-at-decision);
+* Bracha against Byzantine strategies (silent, value-flipping,
+  equivocation) on the step-level engine;
+* the Kapron-style committee-election protocol against non-adaptive and
+  adaptive corruption — the contrast motivating the paper's lower bound.
+
+For each cell it reports whether agreement, validity and termination held,
+and how long the execution took in the relevant running-time measure.
+
+Run with::
+
+    python examples/adversary_showdown.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (AdaptiveResettingAdversary, BenignAdversary,
+                   BenOrAgreement, BrachaAgreement, ByzantineAdversary,
+                   CommitteeElectionProtocol, CrashAtDecisionAdversary,
+                   EquivocateStrategy, FlipValueStrategy, ProtocolFactory,
+                   ResetTolerantAgreement, SilencingAdversary,
+                   SilentStrategy, SplitVoteAdversary, StaticCrashAdversary,
+                   StepEngine, max_tolerable_t, run_execution)
+from repro.analysis.statistics import format_table
+from repro.protocols.committee import failure_rate
+from repro.workloads import split
+
+
+def reset_tolerant_rows(n: int, seed: int) -> list:
+    t = max_tolerable_t(n)
+    adversaries = {
+        "benign": BenignAdversary(),
+        "silencing": SilencingAdversary(),
+        "split-vote": SplitVoteAdversary(seed=seed),
+        "adaptive-resetting": AdaptiveResettingAdversary(seed=seed),
+    }
+    rows = []
+    for name, adversary in adversaries.items():
+        result = run_execution(ResetTolerantAgreement, n=n, t=t,
+                               inputs=split(n), adversary=adversary,
+                               max_windows=100000, seed=seed)
+        rows.append({
+            "protocol": "reset-tolerant",
+            "fault model": "strongly adaptive (resets)",
+            "adversary": name,
+            "n": n, "t": t,
+            "agreement": result.agreement_ok,
+            "validity": result.validity_ok,
+            "terminated": result.all_live_decided,
+            "running time": f"{result.windows_elapsed} windows",
+        })
+    return rows
+
+
+def ben_or_rows(n: int, seed: int) -> list:
+    t = (n - 1) // 2
+    adversaries = {
+        "crash-at-start": StaticCrashAdversary(
+            crash_schedule={0: tuple(range(t))}),
+        "crash-at-decision": CrashAtDecisionAdversary(),
+        "benign": BenignAdversary(),
+    }
+    rows = []
+    for name, adversary in adversaries.items():
+        result = run_execution(BenOrAgreement, n=n, t=t, inputs=split(n),
+                               adversary=adversary, max_windows=20000,
+                               seed=seed)
+        rows.append({
+            "protocol": "ben-or",
+            "fault model": "crash (t < n/2)",
+            "adversary": name,
+            "n": n, "t": t,
+            "agreement": result.agreement_ok,
+            "validity": result.validity_ok,
+            "terminated": result.all_live_decided,
+            "running time": f"{result.windows_elapsed} windows",
+        })
+    return rows
+
+
+def bracha_rows(n: int, seed: int) -> list:
+    t = (n - 1) // 3
+    strategies = {
+        "silent": SilentStrategy(),
+        "flip-values": FlipValueStrategy(),
+        "equivocate": EquivocateStrategy(),
+    }
+    rows = []
+    for name, strategy in strategies.items():
+        factory = ProtocolFactory(BrachaAgreement, n=n, t=t)
+        engine = StepEngine(factory, split(n), seed=seed)
+        adversary = ByzantineAdversary(corrupted=tuple(range(t)),
+                                       strategy=strategy, seed=seed)
+        result = engine.run(adversary, max_steps=400000, stop_when="all")
+        honest = [pid for pid in range(n) if pid >= t]
+        honest_values = {result.outputs[pid] for pid in honest}
+        rows.append({
+            "protocol": "bracha",
+            "fault model": "Byzantine (t < n/3)",
+            "adversary": name,
+            "n": n, "t": t,
+            "agreement": len({v for v in honest_values
+                              if v is not None}) <= 1,
+            "validity": all(v in (0, 1, None) for v in honest_values),
+            "terminated": None not in honest_values,
+            "running time": f"{result.steps_elapsed} steps",
+        })
+    return rows
+
+
+def committee_rows(n: int, seed: int) -> list:
+    t = n // 5
+    protocol = CommitteeElectionProtocol(n=n, t=t)
+    rows = []
+    for adaptive in (False, True):
+        rate = failure_rate(protocol, split(n), trials=40, adaptive=adaptive,
+                            seed=seed)
+        sample = protocol.run(split(n), adaptive=adaptive, seed=seed)
+        rows.append({
+            "protocol": "committee-election",
+            "fault model": ("adaptive Byzantine" if adaptive
+                            else "non-adaptive Byzantine"),
+            "adversary": "corrupt final committee" if adaptive
+                         else "random corruption",
+            "n": n, "t": t,
+            "agreement": rate < 0.5,
+            "validity": rate < 0.5,
+            "terminated": True,
+            "running time": f"{sample.communication_rounds} rounds "
+                            f"(failure rate {rate:.2f})",
+        })
+    return rows
+
+
+def main() -> None:
+    seed = random.Random(2013).getrandbits(32)
+    rows = []
+    rows += reset_tolerant_rows(n=18, seed=seed)
+    rows += ben_or_rows(n=9, seed=seed)
+    rows += bracha_rows(n=7, seed=seed)
+    rows += committee_rows(n=64, seed=seed)
+    print(format_table(rows, columns=[
+        "protocol", "fault model", "adversary", "n", "t", "agreement",
+        "validity", "terminated", "running time"]))
+    print("\nThe committee-election rows show the trade-off the paper "
+          "studies: they are fast, but an adaptive adversary that corrupts "
+          "the final committee defeats them, while the adaptive-safe "
+          "protocols above pay for their robustness with exponential "
+          "running time (Theorems 5 and 17 prove they must).")
+
+
+if __name__ == "__main__":
+    main()

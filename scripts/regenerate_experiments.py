@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Regenerate every EXPERIMENTS.md table and write them to results/.
+
+This is the non-benchmark path to the experiment tables (the benchmark
+suite runs the same functions under pytest-benchmark).  Sizes are chosen so
+the full script completes in a few minutes on a laptop.
+
+Run with::
+
+    python scripts/regenerate_experiments.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.analysis.experiments import (run_baseline_experiment,
+                                        run_committee_experiment,
+                                        run_constants_experiment,
+                                        run_crash_forgetful_experiment,
+                                        run_exponential_rounds_experiment,
+                                        run_feasibility_experiment,
+                                        run_lower_bound_experiment,
+                                        run_threshold_ablation)
+from repro.analysis.statistics import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps (about a minute)")
+    parser.add_argument("--output", default="results/experiment_tables.txt")
+    args = parser.parse_args()
+
+    if args.quick:
+        plans = [
+            ("E1", "Theorem 4 feasibility sweep",
+             lambda: run_feasibility_experiment(ns=(12,), trials=1,
+                                                max_windows=3000, seed=1)),
+            ("E2", "Exponential windows vs n (split inputs)",
+             lambda: run_exponential_rounds_experiment(ns=(12, 16), trials=3,
+                                                       seed=2)),
+            ("E3", "Lower-bound machinery checks",
+             lambda: run_lower_bound_experiment(ns=(8,), samples=4,
+                                                separation_trials=6, seed=3)),
+            ("E4", "Crash-model message chains (Ben-Or)",
+             lambda: run_crash_forgetful_experiment(ns=(9, 13), trials=4,
+                                                    seed=4)),
+            ("E5", "Committee election contrast",
+             lambda: run_committee_experiment(ns=(32, 64), trials=25,
+                                              seed=5)),
+            ("E6", "Baselines (Ben-Or crash, Bracha Byzantine)",
+             lambda: run_baseline_experiment(ben_or_ns=(9,), bracha_ns=(7,),
+                                             trials=1, seed=6)),
+            ("E7", "Threshold ablation",
+             lambda: run_threshold_ablation(n=18, trials=2,
+                                            max_windows=1200, seed=7)),
+            ("E8", "Theorem 5 constants + Talagrand checks",
+             lambda: run_constants_experiment(cs=(0.1, 1 / 6), ns=(50, 100),
+                                              seed=8)),
+        ]
+    else:
+        plans = [
+            ("E1", "Theorem 4 feasibility sweep",
+             lambda: run_feasibility_experiment(ns=(12, 18, 24), trials=3,
+                                                max_windows=6000, seed=1)),
+            ("E2", "Exponential windows vs n (split inputs)",
+             lambda: run_exponential_rounds_experiment(ns=(12, 16, 20, 24),
+                                                       trials=5, seed=2)),
+            ("E3", "Lower-bound machinery checks",
+             lambda: run_lower_bound_experiment(ns=(8, 12), samples=6,
+                                                separation_trials=10,
+                                                seed=3)),
+            ("E4", "Crash-model message chains (Ben-Or)",
+             lambda: run_crash_forgetful_experiment(ns=(9, 13, 17, 21),
+                                                    trials=8, seed=4)),
+            ("E5", "Committee election contrast",
+             lambda: run_committee_experiment(ns=(32, 64, 128), trials=40,
+                                              seed=5)),
+            ("E6", "Baselines (Ben-Or crash, Bracha Byzantine)",
+             lambda: run_baseline_experiment(ben_or_ns=(9, 15),
+                                             bracha_ns=(7, 10), trials=2,
+                                             seed=6)),
+            ("E7", "Threshold ablation",
+             lambda: run_threshold_ablation(n=24, trials=3,
+                                            max_windows=3000, seed=7)),
+            ("E8", "Theorem 5 constants + Talagrand checks",
+             lambda: run_constants_experiment(seed=8)),
+        ]
+
+    os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+    sections = []
+    for experiment_id, title, runner in plans:
+        started = time.time()
+        rows = runner()
+        elapsed = time.time() - started
+        table = format_table(rows)
+        sections.append(f"== {experiment_id}: {title} "
+                        f"({elapsed:.1f}s) ==\n{table}\n")
+        print(sections[-1])
+        sys.stdout.flush()
+    with open(args.output, "w") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

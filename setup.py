@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that editable installs also work in offline environments whose
+tooling lacks the ``wheel`` package (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,547 @@
+"""Experiment runners: one function per experiment in EXPERIMENTS.md.
+
+Every function returns a list of flat dictionaries (table rows).  The
+benchmark harness wraps these functions with pytest-benchmark; the examples
+print them with :func:`repro.analysis.statistics.format_table`.  Trial
+counts and system sizes are parameters so that quick smoke runs and full
+reproductions use the same code path.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.adversaries.benign import (BenignAdversary,
+                                      RandomSchedulerAdversary,
+                                      SilencingAdversary)
+from repro.adversaries.byzantine import (ByzantineAdversary,
+                                         EquivocateStrategy,
+                                         FlipValueStrategy,
+                                         RandomValueStrategy, SilentStrategy)
+from repro.adversaries.crash import (CrashAtDecisionAdversary,
+                                     CrashSplitVoteAdversary,
+                                     StaticCrashAdversary)
+from repro.adversaries.polarizing import PolarizingAdversary
+from repro.adversaries.split_vote import (AdaptiveResettingAdversary,
+                                          SplitVoteAdversary)
+from repro.core.analysis import split_vote_analysis
+from repro.core.lower_bound import lower_bound_report
+from repro.core.reset_tolerant import ResetTolerantAgreement
+from repro.core.talagrand import lower_bound_constants
+from repro.core.thresholds import (ThresholdConfig, default_thresholds,
+                                   max_tolerable_t, threshold_grid)
+from repro.analysis.product_measure import (ProductDistribution,
+                                            verify_talagrand)
+from repro.analysis.statistics import (fit_exponential, summarize_trials)
+from repro.protocols.base import ProtocolFactory
+from repro.protocols.ben_or import BenOrAgreement
+from repro.protocols.bracha import BrachaAgreement
+from repro.protocols.committee import CommitteeElectionProtocol, failure_rate
+from repro.simulation.engine import StepEngine
+from repro.simulation.windows import WindowEngine, run_execution
+from repro.workloads.inputs import split, standard_workloads, unanimous
+
+
+# ----------------------------------------------------------------------
+# E1: Theorem 4 feasibility — correctness and termination sweep.
+# ----------------------------------------------------------------------
+def run_feasibility_experiment(ns: Sequence[int] = (12, 18, 24),
+                               trials: int = 3,
+                               max_windows: int = 60000,
+                               seed: int = 0) -> List[Dict]:
+    """Correctness/termination of the reset-tolerant algorithm (E1).
+
+    For every ``n`` (with ``t`` the largest value admitted by Theorem 4),
+    every standard workload and a battery of strongly adaptive adversaries,
+    runs several executions and reports whether agreement, validity and
+    termination held.
+    """
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    for n in ns:
+        t = max_tolerable_t(n)
+        adversaries = {
+            "benign": lambda: BenignAdversary(),
+            "random": lambda: RandomSchedulerAdversary(
+                seed=rng.getrandbits(32), reset_probability=0.5),
+            "silencing": lambda: SilencingAdversary(),
+            "split-vote": lambda: SplitVoteAdversary(
+                seed=rng.getrandbits(32)),
+            "adaptive-resetting": lambda: AdaptiveResettingAdversary(
+                seed=rng.getrandbits(32)),
+        }
+        for workload_name, inputs in standard_workloads(
+                n, seed=rng.getrandbits(32)).items():
+            for adversary_name, adversary_factory in adversaries.items():
+                agreement_ok = True
+                validity_ok = True
+                terminated = True
+                windows_used: List[int] = []
+                for _ in range(trials):
+                    result = run_execution(
+                        ResetTolerantAgreement, n=n, t=t, inputs=inputs,
+                        adversary=adversary_factory(),
+                        max_windows=max_windows,
+                        seed=rng.getrandbits(32), stop_when="all")
+                    agreement_ok &= result.agreement_ok
+                    validity_ok &= result.validity_ok
+                    terminated &= result.all_live_decided
+                    windows_used.append(result.windows_elapsed)
+                rows.append({
+                    "experiment": "E1",
+                    "n": n,
+                    "t": t,
+                    "workload": workload_name,
+                    "adversary": adversary_name,
+                    "agreement_ok": agreement_ok,
+                    "validity_ok": validity_ok,
+                    "terminated": terminated,
+                    "mean_windows": sum(windows_used) / len(windows_used),
+                    "max_windows_observed": max(windows_used),
+                })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E2: exponential running time against the split-vote adversary.
+# ----------------------------------------------------------------------
+def run_exponential_rounds_experiment(ns: Sequence[int] = (12, 16, 20, 24),
+                                      trials: int = 5,
+                                      max_windows: int = 200000,
+                                      use_resets: bool = True,
+                                      seed: int = 0) -> List[Dict]:
+    """Windows until first decision under the blocking adversary (E2).
+
+    Also reports the analytic prediction of
+    :func:`repro.core.analysis.split_vote_analysis` and, in the final
+    synthetic row, the exponential fit of measured means against ``n``.
+    """
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    means: List[float] = []
+    used_ns: List[int] = []
+    for n in ns:
+        t = max_tolerable_t(n)
+        if t == 0:
+            continue
+        thresholds = default_thresholds(n, t)
+        analytic = split_vote_analysis(thresholds)
+        inputs = split(n)
+        windows: List[float] = []
+        unanimous_windows: List[float] = []
+        for _ in range(trials):
+            adversary = (AdaptiveResettingAdversary(seed=rng.getrandbits(32))
+                         if use_resets
+                         else SplitVoteAdversary(seed=rng.getrandbits(32)))
+            result = run_execution(
+                ResetTolerantAgreement, n=n, t=t, inputs=inputs,
+                adversary=adversary, max_windows=max_windows,
+                seed=rng.getrandbits(32), stop_when="first")
+            windows.append(result.first_decision_window
+                           or result.windows_elapsed)
+            unanimous_result = run_execution(
+                ResetTolerantAgreement, n=n, t=t, inputs=unanimous(n, 1),
+                adversary=SplitVoteAdversary(seed=rng.getrandbits(32)),
+                max_windows=max_windows, seed=rng.getrandbits(32),
+                stop_when="first")
+            unanimous_windows.append(
+                unanimous_result.first_decision_window
+                or unanimous_result.windows_elapsed)
+        summary = summarize_trials(windows)
+        means.append(summary.mean)
+        used_ns.append(n)
+        rows.append({
+            "experiment": "E2",
+            "n": n,
+            "t": t,
+            "inputs": "split",
+            "trials": trials,
+            "mean_windows": summary.mean,
+            "median_windows": summary.median,
+            "max_windows": summary.maximum,
+            "analytic_expected_windows": analytic.expected_windows,
+            "unanimous_mean_windows":
+                sum(unanimous_windows) / len(unanimous_windows),
+            "fit_growth_rate_per_processor": None,
+            "fit_r_squared": None,
+        })
+    if len(means) >= 2:
+        fit = fit_exponential(used_ns, means)
+        rows.append({
+            "experiment": "E2-fit",
+            "n": None,
+            "t": None,
+            "inputs": "split",
+            "trials": trials,
+            "mean_windows": None,
+            "median_windows": None,
+            "max_windows": None,
+            "analytic_expected_windows": None,
+            "unanimous_mean_windows": None,
+            "fit_growth_rate_per_processor": fit.b,
+            "fit_r_squared": fit.r_squared,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E3: lower-bound machinery checks (Lemmas 9, 11, 14 and Theorem 5 inputs).
+# ----------------------------------------------------------------------
+def run_lower_bound_experiment(ns: Sequence[int] = (8, 12),
+                               samples: int = 6,
+                               separation_trials: int = 8,
+                               seed: int = 0) -> List[Dict]:
+    """Numerical checks of the Theorem 5 machinery at small ``n`` (E3)."""
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    for n in ns:
+        t = max_tolerable_t(n)
+        if t == 0:
+            continue
+        report = lower_bound_report(
+            ResetTolerantAgreement, n=n, t=t, samples=samples,
+            separation_trials=separation_trials, seed=rng.getrandbits(32))
+        rows.append({
+            "experiment": "E3",
+            "n": n,
+            "t": t,
+            "decision_set_min_distance": report.separation.min_distance,
+            "required_separation": report.separation.required,
+            "separation_holds": report.separation.satisfied,
+            "tau": report.tau,
+            "hybrid_best_j": report.hybrid_best.j,
+            "hybrid_best_worst_probability": report.hybrid_best.worst,
+            "endpoint_worst_probability": report.endpoint_worst,
+            "balanced_inputs_ones": sum(report.balanced_inputs.inputs),
+            "balanced_zero_probability":
+                report.balanced_inputs.zero_probability,
+            "balanced_one_probability":
+                report.balanced_inputs.one_probability,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E4: crash-model lower bound on forgetful, fully communicative algorithms.
+# ----------------------------------------------------------------------
+def run_crash_forgetful_experiment(ns: Sequence[int] = (9, 13, 17, 21),
+                                   trials: int = 10,
+                                   fault_fraction: float = 0.25,
+                                   max_windows: int = 200000,
+                                   seed: int = 0) -> List[Dict]:
+    """Message-chain length of Ben-Or under the crash-model adversary (E4)."""
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    means: List[float] = []
+    used_ns: List[int] = []
+    for n in ns:
+        t = max(1, int(fault_fraction * n))
+        if t >= n / 2:
+            t = (n - 1) // 2
+        inputs = split(n)
+        chains: List[float] = []
+        windows: List[float] = []
+        for _ in range(trials):
+            result = run_execution(
+                BenOrAgreement, n=n, t=t, inputs=inputs,
+                adversary=CrashSplitVoteAdversary(seed=rng.getrandbits(32)),
+                max_windows=max_windows, seed=rng.getrandbits(32),
+                stop_when="first")
+            chain = result.message_chain_length
+            if chain is None:
+                chain = result.windows_elapsed
+            chains.append(chain)
+            windows.append(result.first_decision_window
+                           or result.windows_elapsed)
+        chain_summary = summarize_trials(chains)
+        means.append(chain_summary.mean)
+        used_ns.append(n)
+        rows.append({
+            "experiment": "E4",
+            "protocol": "ben-or",
+            "n": n,
+            "t": t,
+            "trials": trials,
+            "mean_message_chain": chain_summary.mean,
+            "max_message_chain": chain_summary.maximum,
+            "mean_windows": sum(windows) / len(windows),
+            "forgetful": BenOrAgreement.forgetful,
+            "fully_communicative": BenOrAgreement.fully_communicative,
+            "fit_growth_rate_per_processor": None,
+            "fit_r_squared": None,
+        })
+    if len(means) >= 2:
+        fit = fit_exponential(used_ns, means)
+        rows.append({
+            "experiment": "E4-fit",
+            "protocol": "ben-or",
+            "n": None,
+            "t": None,
+            "trials": trials,
+            "mean_message_chain": None,
+            "max_message_chain": None,
+            "mean_windows": None,
+            "forgetful": True,
+            "fully_communicative": True,
+            "fit_growth_rate_per_processor": fit.b,
+            "fit_r_squared": fit.r_squared,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E5: contrast with committee election (fast but non-adaptive, fallible).
+# ----------------------------------------------------------------------
+def run_committee_experiment(ns: Sequence[int] = (32, 64, 128),
+                             trials: int = 40,
+                             fault_fraction: float = 0.2,
+                             seed: int = 0) -> List[Dict]:
+    """Committee election versus the adaptive-safe algorithm (E5)."""
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    for n in ns:
+        t = max(1, int(fault_fraction * n))
+        protocol = CommitteeElectionProtocol(n=n, t=t)
+        inputs = split(n)
+        nonadaptive_failures = failure_rate(protocol, inputs, trials=trials,
+                                            adaptive=False,
+                                            seed=rng.getrandbits(32))
+        adaptive_failures = failure_rate(protocol, inputs, trials=trials,
+                                         adaptive=True,
+                                         seed=rng.getrandbits(32))
+        sample = protocol.run(inputs, adaptive=False,
+                              seed=rng.getrandbits(32))
+        # The adaptive-safe alternative: the reset-tolerant algorithm's
+        # analytic expected windows at the Theorem 4 fault bound.
+        rt_t = max_tolerable_t(n)
+        analytic_windows = (split_vote_analysis(default_thresholds(n, rt_t))
+                            .expected_windows if rt_t > 0 else float("nan"))
+        rows.append({
+            "experiment": "E5",
+            "n": n,
+            "t": t,
+            "committee_size": protocol.committee_size,
+            "committee_rounds": sample.communication_rounds,
+            "committee_layers": sample.layers,
+            "nonadaptive_failure_rate": nonadaptive_failures,
+            "adaptive_failure_rate": adaptive_failures,
+            "adaptive_safe_expected_windows": analytic_windows,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E6: baseline protocols at their classical resilience bounds.
+# ----------------------------------------------------------------------
+def run_baseline_experiment(ben_or_ns: Sequence[int] = (9, 15),
+                            bracha_ns: Sequence[int] = (7, 10),
+                            trials: int = 3,
+                            max_windows: int = 5000,
+                            max_steps: int = 400000,
+                            seed: int = 0) -> List[Dict]:
+    """Ben-Or under crash failures and Bracha under Byzantine failures (E6)."""
+    rng = random.Random(seed)
+    rows: List[Dict] = []
+    for n in ben_or_ns:
+        t = (n - 1) // 2
+        adversaries = {
+            "benign": lambda: BenignAdversary(),
+            "crash-at-start": lambda: StaticCrashAdversary(
+                crash_schedule={0: tuple(range(t))}),
+            "crash-at-decision": lambda: CrashAtDecisionAdversary(),
+            "random": lambda: RandomSchedulerAdversary(
+                seed=rng.getrandbits(32)),
+        }
+        for workload_name, inputs in (("split", split(n)),
+                                      ("unanimous-1", unanimous(n, 1))):
+            for adversary_name, adversary_factory in adversaries.items():
+                agreement_ok = True
+                validity_ok = True
+                terminated = True
+                windows_used = []
+                for _ in range(trials):
+                    result = run_execution(
+                        BenOrAgreement, n=n, t=t, inputs=inputs,
+                        adversary=adversary_factory(),
+                        max_windows=max_windows, seed=rng.getrandbits(32),
+                        stop_when="all")
+                    agreement_ok &= result.agreement_ok
+                    validity_ok &= result.validity_ok
+                    terminated &= result.all_live_decided
+                    windows_used.append(result.windows_elapsed)
+                rows.append({
+                    "experiment": "E6",
+                    "protocol": "ben-or",
+                    "n": n,
+                    "t": t,
+                    "workload": workload_name,
+                    "adversary": adversary_name,
+                    "agreement_ok": agreement_ok,
+                    "validity_ok": validity_ok,
+                    "terminated": terminated,
+                    "mean_windows": sum(windows_used) / len(windows_used),
+                })
+    for n in bracha_ns:
+        t = (n - 1) // 3
+        strategies = {
+            "silent": SilentStrategy,
+            "flip": FlipValueStrategy,
+            "equivocate": EquivocateStrategy,
+            "random-values": RandomValueStrategy,
+        }
+        for workload_name, inputs in (("split", split(n)),
+                                      ("unanimous-0", unanimous(n, 0))):
+            for strategy_name, strategy_cls in strategies.items():
+                agreement_ok = True
+                validity_ok = True
+                terminated = True
+                for _ in range(trials):
+                    factory = ProtocolFactory(BrachaAgreement, n=n, t=t)
+                    engine = StepEngine(factory, inputs,
+                                        seed=rng.getrandbits(32))
+                    adversary = ByzantineAdversary(
+                        corrupted=tuple(range(t)), strategy=strategy_cls(),
+                        seed=rng.getrandbits(32))
+                    result = engine.run(adversary, max_steps=max_steps,
+                                        stop_when="all")
+                    honest = [pid for pid in range(n) if pid >= t]
+                    honest_outputs = {result.outputs[pid] for pid in honest}
+                    honest_decided = None not in honest_outputs
+                    honest_values = {value for value in honest_outputs
+                                     if value is not None}
+                    honest_inputs = {inputs[pid] for pid in honest}
+                    agreement_ok &= len(honest_values) <= 1
+                    validity_ok &= honest_values.issubset(honest_inputs) \
+                        or not honest_values
+                    terminated &= honest_decided
+                rows.append({
+                    "experiment": "E6",
+                    "protocol": "bracha",
+                    "n": n,
+                    "t": t,
+                    "workload": workload_name,
+                    "adversary": strategy_name,
+                    "agreement_ok": agreement_ok,
+                    "validity_ok": validity_ok,
+                    "terminated": terminated,
+                    "mean_windows": None,
+                })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E7: threshold ablation.
+# ----------------------------------------------------------------------
+def run_threshold_ablation(n: int = 24, trials: int = 4,
+                           max_windows: int = 3000,
+                           seed: int = 0) -> List[Dict]:
+    """Effect of violating each Theorem 4 threshold constraint (E7)."""
+    rng = random.Random(seed)
+    t = max_tolerable_t(n)
+    rows: List[Dict] = []
+    for config in threshold_grid(n, t):
+        violations = config.violations()
+        adversaries = {
+            "split-vote": lambda: SplitVoteAdversary(
+                seed=rng.getrandbits(32)),
+            "polarizing": lambda: PolarizingAdversary(
+                seed=rng.getrandbits(32)),
+            "adaptive-resetting": lambda: AdaptiveResettingAdversary(
+                seed=rng.getrandbits(32)),
+        }
+        for adversary_name, adversary_factory in adversaries.items():
+            agreement_ok = True
+            validity_ok = True
+            decided_runs = 0
+            windows_used = []
+            for _ in range(trials):
+                result = run_execution(
+                    ResetTolerantAgreement, n=n, t=t, inputs=split(n),
+                    adversary=adversary_factory(), max_windows=max_windows,
+                    seed=rng.getrandbits(32), stop_when="all",
+                    thresholds=config, validate_thresholds=False)
+                agreement_ok &= result.agreement_ok
+                validity_ok &= result.validity_ok
+                decided_runs += int(result.decided)
+                windows_used.append(result.windows_elapsed)
+            rows.append({
+                "experiment": "E7",
+                "n": n,
+                "t": t,
+                "T1": config.t1,
+                "T2": config.t2,
+                "T3": config.t3,
+                "constraints_ok": config.valid,
+                "violated": "; ".join(violations) if violations else "-",
+                "adversary": adversary_name,
+                "agreement_ok": agreement_ok,
+                "validity_ok": validity_ok,
+                "decided_runs": decided_runs,
+                "trials": trials,
+                "mean_windows": sum(windows_used) / len(windows_used),
+            })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E8: lower-bound constants and Talagrand spot checks.
+# ----------------------------------------------------------------------
+def run_constants_experiment(cs: Sequence[float] = (0.05, 0.1, 1.0 / 6.0),
+                             ns: Sequence[int] = (50, 100, 200, 400),
+                             seed: int = 0) -> List[Dict]:
+    """Theorem 5 constants and a numerical Talagrand verification (E8)."""
+    rows: List[Dict] = []
+    for c in cs:
+        constants = lower_bound_constants(c)
+        for n in ns:
+            rows.append({
+                "experiment": "E8",
+                "c": round(c, 4),
+                "n": n,
+                "alpha": constants.alpha,
+                "C": constants.big_c,
+                "predicted_windows": constants.predicted_windows(n),
+                "success_probability": constants.success_probability(n),
+                "set": None,
+                "radius": None,
+                "P[A]*(1-P[B(A,d)])": None,
+                "talagrand_bound": None,
+                "inequality_holds": None,
+            })
+    # Talagrand spot check on a concrete product space: n fair coins, the
+    # set A of points with at most k ones, radius d.
+    rng = random.Random(seed)
+    for n, k, d in ((10, 2, 3), (11, 3, 4), (12, 3, 4)):
+        distribution = ProductDistribution.uniform_bits(n)
+        points = [point for point, _ in distribution.enumerate_support()
+                  if sum(point) <= k]
+        check = verify_talagrand(distribution, points, radius=d, exact=True)
+        rows.append({
+            "experiment": "E8-talagrand",
+            "c": None,
+            "n": n,
+            "alpha": None,
+            "C": None,
+            "predicted_windows": None,
+            "success_probability": None,
+            "set": f"at most {k} ones",
+            "radius": d,
+            "P[A]*(1-P[B(A,d)])": check.product,
+            "talagrand_bound": check.bound,
+            "inequality_holds": check.satisfied,
+        })
+    return rows
+
+
+__all__ = [
+    "run_feasibility_experiment",
+    "run_exponential_rounds_experiment",
+    "run_lower_bound_experiment",
+    "run_crash_forgetful_experiment",
+    "run_committee_experiment",
+    "run_baseline_experiment",
+    "run_threshold_ablation",
+    "run_constants_experiment",
+]

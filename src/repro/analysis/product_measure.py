@@ -1,0 +1,307 @@
+"""Product measures on finite spaces and numerical Talagrand verification.
+
+The lower bound's engine is a statement about product distributions: the
+joint distribution over the processors' next states induced by one
+acceptable window is a product distribution (each processor's randomness is
+local and independent), and Talagrand's inequality (Lemma 9) limits how much
+weight any product distribution can put on two Hamming-separated sets.
+
+This module provides a small, exact toolkit for finite product
+distributions — sampling, exact enumeration of weights, Hamming balls around
+explicit sets — so the E3/E8 experiments can verify Lemma 9, the two-set
+corollary used in Lemma 13, and the single-coordinate degradation step used
+in Lemma 14 numerically, independently of any protocol simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.talagrand import talagrand_bound, two_set_bound
+
+
+def hamming(x: Sequence, y: Sequence) -> int:
+    """Hamming distance between two equal-length tuples."""
+    if len(x) != len(y):
+        raise ValueError("points have different dimensions")
+    return sum(1 for a, b in zip(x, y) if a != b)
+
+
+def distance_to_set(x: Sequence, points: Iterable[Sequence]) -> Optional[int]:
+    """Minimum Hamming distance from ``x`` to any point in ``points``."""
+    best: Optional[int] = None
+    for point in points:
+        distance = hamming(x, point)
+        if best is None or distance < best:
+            best = distance
+        if best == 0:
+            return 0
+    return best
+
+
+def set_to_set_distance(a: Iterable[Sequence],
+                        b: Iterable[Sequence]) -> Optional[int]:
+    """Minimum Hamming distance between two point sets (Definition 7)."""
+    best: Optional[int] = None
+    b_list = list(b)
+    for x in a:
+        distance = distance_to_set(x, b_list)
+        if distance is None:
+            continue
+        if best is None or distance < best:
+            best = distance
+        if best == 0:
+            return 0
+    return best
+
+
+class CoordinateDistribution:
+    """A finite distribution for a single coordinate of a product space.
+
+    Args:
+        weights: mapping from outcome to non-negative weight; weights are
+            normalised internally.
+    """
+
+    def __init__(self, weights: Dict[object, float]) -> None:
+        if not weights:
+            raise ValueError("coordinate distribution needs outcomes")
+        total = float(sum(weights.values()))
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        if any(weight < 0 for weight in weights.values()):
+            raise ValueError("weights must be non-negative")
+        self._probabilities = {outcome: weight / total
+                               for outcome, weight in weights.items()}
+
+    @staticmethod
+    def uniform(outcomes: Sequence) -> "CoordinateDistribution":
+        """The uniform distribution over the given outcomes."""
+        return CoordinateDistribution({outcome: 1.0 for outcome in outcomes})
+
+    @staticmethod
+    def bernoulli(p: float) -> "CoordinateDistribution":
+        """A {0, 1}-valued coordinate with ``P[1] = p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must lie in [0, 1]")
+        return CoordinateDistribution({0: 1.0 - p, 1: p})
+
+    @staticmethod
+    def point_mass(outcome) -> "CoordinateDistribution":
+        """A deterministic coordinate."""
+        return CoordinateDistribution({outcome: 1.0})
+
+    @property
+    def outcomes(self) -> List:
+        """The support of the distribution."""
+        return list(self._probabilities)
+
+    def probability(self, outcome) -> float:
+        """Probability of a single outcome (0.0 if outside the support)."""
+        return self._probabilities.get(outcome, 0.0)
+
+    def sample(self, rng: random.Random):
+        """Draw one outcome."""
+        u = rng.random()
+        cumulative = 0.0
+        outcomes = list(self._probabilities.items())
+        for outcome, probability in outcomes:
+            cumulative += probability
+            if u <= cumulative:
+                return outcome
+        return outcomes[-1][0]
+
+    def items(self) -> List[Tuple[object, float]]:
+        """(outcome, probability) pairs."""
+        return list(self._probabilities.items())
+
+
+class ProductDistribution:
+    """A product distribution ``Omega_1 x ... x Omega_n``.
+
+    Supports exact weight computation by enumeration (for small supports)
+    and Monte-Carlo sampling, plus the single-coordinate replacement
+    operation used in the Lemma 14 interpolation argument.
+    """
+
+    def __init__(self, coordinates: Sequence[CoordinateDistribution]) -> None:
+        if not coordinates:
+            raise ValueError("product distribution needs coordinates")
+        self.coordinates = list(coordinates)
+
+    @property
+    def n(self) -> int:
+        """Number of coordinates."""
+        return len(self.coordinates)
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def uniform_bits(n: int) -> "ProductDistribution":
+        """``n`` independent fair coins."""
+        return ProductDistribution(
+            [CoordinateDistribution.bernoulli(0.5) for _ in range(n)])
+
+    @staticmethod
+    def bernoulli(ps: Sequence[float]) -> "ProductDistribution":
+        """Independent biased coins with the given success probabilities."""
+        return ProductDistribution(
+            [CoordinateDistribution.bernoulli(p) for p in ps])
+
+    def replace_coordinate(self, index: int,
+                           distribution: CoordinateDistribution
+                           ) -> "ProductDistribution":
+        """A copy with coordinate ``index`` replaced (Lemma 14's hybrid step)."""
+        coordinates = list(self.coordinates)
+        coordinates[index] = distribution
+        return ProductDistribution(coordinates)
+
+    # ------------------------------------------------------------------
+    # Exact computations (enumeration).
+    # ------------------------------------------------------------------
+    def support_size(self) -> int:
+        """Number of points in the support."""
+        size = 1
+        for coordinate in self.coordinates:
+            size *= len(coordinate.outcomes)
+        return size
+
+    def enumerate_support(self) -> Iterable[Tuple[Tuple, float]]:
+        """Yield ``(point, probability)`` for every support point."""
+        spaces = [coordinate.items() for coordinate in self.coordinates]
+        for combination in itertools.product(*spaces):
+            point = tuple(outcome for outcome, _ in combination)
+            probability = 1.0
+            for _, p in combination:
+                probability *= p
+            yield point, probability
+
+    def weight(self, predicate: Callable[[Tuple], bool]) -> float:
+        """Exact probability of the event ``{x : predicate(x)}``."""
+        return sum(probability
+                   for point, probability in self.enumerate_support()
+                   if predicate(point))
+
+    def weight_of_points(self, points: Iterable[Sequence]) -> float:
+        """Exact probability of an explicit point set."""
+        point_set = {tuple(point) for point in points}
+        return self.weight(lambda x: x in point_set)
+
+    def ball_weight(self, points: Iterable[Sequence], radius: int) -> float:
+        """Exact probability of the Hamming ball ``B(A, radius)``."""
+        point_list = [tuple(point) for point in points]
+
+        def in_ball(x: Tuple) -> bool:
+            distance = distance_to_set(x, point_list)
+            return distance is not None and distance <= radius
+
+        return self.weight(in_ball)
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo estimation.
+    # ------------------------------------------------------------------
+    def sample(self, rng: random.Random) -> Tuple:
+        """Draw one point."""
+        return tuple(coordinate.sample(rng)
+                     for coordinate in self.coordinates)
+
+    def estimate_weight(self, predicate: Callable[[Tuple], bool],
+                        samples: int,
+                        seed: Optional[int] = None) -> float:
+        """Monte-Carlo estimate of an event's probability."""
+        rng = random.Random(seed)
+        hits = sum(1 for _ in range(samples)
+                   if predicate(self.sample(rng)))
+        return hits / samples
+
+
+@dataclass
+class TalagrandCheck:
+    """Result of verifying Lemma 9 on a concrete (distribution, set, radius).
+
+    Attributes:
+        p_set: probability of the set ``A``.
+        p_ball: probability of the Hamming ball ``B(A, d)``.
+        product: the quantity ``P[A] * (1 - P[B(A, d)])`` the lemma bounds.
+        bound: the Talagrand bound ``exp(-d^2 / 4n)``.
+        satisfied: whether the inequality holds (it always should).
+    """
+
+    p_set: float
+    p_ball: float
+    product: float
+    bound: float
+    satisfied: bool
+
+
+def verify_talagrand(distribution: ProductDistribution,
+                     points: Iterable[Sequence], radius: int,
+                     exact: bool = True, samples: int = 20000,
+                     seed: Optional[int] = None) -> TalagrandCheck:
+    """Check Lemma 9 for an explicit set of points.
+
+    Args:
+        distribution: the product distribution.
+        points: the set ``A`` as explicit points.
+        radius: the Hamming radius ``d``.
+        exact: enumerate the support exactly (small spaces) or sample.
+        samples: Monte-Carlo samples when ``exact`` is False.
+    """
+    point_list = [tuple(point) for point in points]
+    if exact:
+        p_set = distribution.weight_of_points(point_list)
+        p_ball = distribution.ball_weight(point_list, radius)
+    else:
+        point_set = set(point_list)
+
+        def in_ball(x: Tuple) -> bool:
+            distance = distance_to_set(x, point_list)
+            return distance is not None and distance <= radius
+
+        p_set = distribution.estimate_weight(
+            lambda x: x in point_set, samples, seed=seed)
+        p_ball = distribution.estimate_weight(
+            in_ball, samples, seed=None if seed is None else seed + 1)
+    product = p_set * (1.0 - p_ball)
+    bound = talagrand_bound(radius, distribution.n)
+    return TalagrandCheck(p_set=p_set, p_ball=p_ball, product=product,
+                          bound=bound, satisfied=product <= bound + 1e-9)
+
+
+def verify_two_set_bound(distribution: ProductDistribution,
+                         set_a: Iterable[Sequence],
+                         set_b: Iterable[Sequence]) -> Tuple[float, float, float, bool]:
+    """Check the Lemma 13 corollary: far-apart sets cannot both be heavy.
+
+    Returns ``(P[A], P[B], tau, consistent)`` where ``tau`` is the two-set
+    bound ``exp(-d^2 / 8n)`` for the measured separation ``d`` and
+    ``consistent`` is True unless both probabilities exceed ``tau`` (which
+    would contradict the corollary).
+    """
+    a_list = [tuple(point) for point in set_a]
+    b_list = [tuple(point) for point in set_b]
+    separation = set_to_set_distance(a_list, b_list)
+    if separation is None:
+        raise ValueError("both sets must be non-empty")
+    p_a = distribution.weight_of_points(a_list)
+    p_b = distribution.weight_of_points(b_list)
+    tau = two_set_bound(float(separation), distribution.n)
+    consistent = not (p_a > tau and p_b > tau)
+    return p_a, p_b, tau, consistent
+
+
+__all__ = [
+    "hamming",
+    "distance_to_set",
+    "set_to_set_distance",
+    "CoordinateDistribution",
+    "ProductDistribution",
+    "TalagrandCheck",
+    "verify_talagrand",
+    "verify_two_set_bound",
+]

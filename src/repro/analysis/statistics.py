@@ -1,0 +1,176 @@
+"""Statistics helpers for the experiment harness.
+
+The running-time experiments (E2, E4) produce samples of "windows until
+first decision" across many trials and several values of ``n``; the claims
+being reproduced are about the *shape* of the growth (exponential in ``n``
+for a fixed fault fraction), so the harness needs exponential fits with
+confidence information, plus basic summaries of trial batches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics of one batch of trials.
+
+    Attributes:
+        count: number of trials.
+        mean: sample mean.
+        median: sample median.
+        std: sample standard deviation (ddof=1; 0.0 for a single trial).
+        minimum: smallest observation.
+        maximum: largest observation.
+        ci_low, ci_high: 95% confidence interval for the mean (t-interval).
+    """
+
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+
+def summarize_trials(values: Sequence[float],
+                     confidence: float = 0.95) -> TrialSummary:
+    """Summarise a batch of trial measurements."""
+    if not values:
+        raise ValueError("cannot summarise an empty batch")
+    data = np.asarray(values, dtype=float)
+    mean = float(np.mean(data))
+    median = float(np.median(data))
+    std = float(np.std(data, ddof=1)) if len(data) > 1 else 0.0
+    if len(data) > 1 and std > 0:
+        sem = std / math.sqrt(len(data))
+        low, high = stats.t.interval(confidence, len(data) - 1, loc=mean,
+                                     scale=sem)
+    else:
+        low = high = mean
+    return TrialSummary(count=len(data), mean=mean, median=median, std=std,
+                        minimum=float(np.min(data)),
+                        maximum=float(np.max(data)), ci_low=float(low),
+                        ci_high=float(high))
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """Least-squares fit of ``y = a * exp(b * x)`` via log-linear regression.
+
+    Attributes:
+        a: the fitted prefactor.
+        b: the fitted growth rate (per unit of ``x``).
+        r_squared: coefficient of determination of the log-linear fit.
+        doubling_x: increase in ``x`` that doubles ``y`` (``ln 2 / b``),
+            ``inf`` when the fit is flat or decreasing.
+    """
+
+    a: float
+    b: float
+    r_squared: float
+
+    @property
+    def doubling_x(self) -> float:
+        if self.b <= 0:
+            return math.inf
+        return math.log(2.0) / self.b
+
+    def predict(self, x: float) -> float:
+        """The fitted value at ``x``."""
+        return self.a * math.exp(self.b * x)
+
+
+def fit_exponential(xs: Sequence[float],
+                    ys: Sequence[float]) -> ExponentialFit:
+    """Fit ``y = a * exp(b * x)`` by linear regression on ``log y``.
+
+    Raises:
+        ValueError: when fewer than two positive observations are supplied.
+    """
+    pairs = [(x, y) for x, y in zip(xs, ys) if y > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive points for a fit")
+    x_arr = np.asarray([x for x, _ in pairs], dtype=float)
+    log_y = np.log(np.asarray([y for _, y in pairs], dtype=float))
+    slope, intercept, r_value, _, _ = stats.linregress(x_arr, log_y)
+    return ExponentialFit(a=float(math.exp(intercept)), b=float(slope),
+                          r_squared=float(r_value ** 2))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("cannot take the geometric mean of nothing")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires positive values")
+    return float(math.exp(sum(math.log(value) for value in values)
+                          / len(values)))
+
+
+def empirical_probability(successes: int, trials: int) -> Tuple[float, float, float]:
+    """Point estimate and Wilson 95% interval for a success probability."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p_hat = successes / trials
+    z = 1.959963984540054
+    denominator = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denominator
+    margin = (z * math.sqrt(p_hat * (1 - p_hat) / trials
+                            + z * z / (4 * trials * trials))) / denominator
+    return p_hat, max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None
+                 ) -> str:
+    """Render a list of dict rows as a fixed-width text table.
+
+    Used by the examples and the benchmark harness to print the
+    EXPERIMENTS.md-style tables.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [[_format_cell(row.get(column)) for column in columns]
+                     for row in rows]
+    widths = [max(len(str(column)), *(len(row[i]) for row in rendered_rows))
+              for i, column in enumerate(columns)]
+    header = "  ".join(str(column).ljust(width)
+                       for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths))
+                     for row in rendered_rows)
+    return "\n".join([header, separator, body])
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+__all__ = [
+    "TrialSummary",
+    "summarize_trials",
+    "ExponentialFit",
+    "fit_exponential",
+    "geometric_mean",
+    "empirical_probability",
+    "format_table",
+]

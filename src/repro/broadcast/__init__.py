@@ -1,0 +1,14 @@
+"""Reliable-broadcast substrate used by Bracha's agreement protocol."""
+
+from repro.broadcast.bracha_broadcast import (RBC_ECHO, RBC_INIT, RBC_READY,
+                                              Acceptance, BroadcastInstance,
+                                              ReliableBroadcastLayer)
+
+__all__ = [
+    "RBC_INIT",
+    "RBC_ECHO",
+    "RBC_READY",
+    "Acceptance",
+    "BroadcastInstance",
+    "ReliableBroadcastLayer",
+]

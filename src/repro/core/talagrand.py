@@ -1,0 +1,181 @@
+"""Talagrand's inequality and the lower-bound constants of Theorems 5 and 17.
+
+The paper's lower bound rests on one probabilistic fact (its Lemma 9, a
+consequence of Talagrand's concentration inequality): for any product
+measure on ``Omega = Omega_1 x ... x Omega_n``, any set ``A`` and any
+``d >= 0``,
+
+    ``P[A] * (1 - P[B(A, d)]) <= exp(-d^2 / (4n))``,
+
+where ``B(A, d)`` is the Hamming ball of radius ``d`` around ``A``.  From
+this the paper derives the separation threshold ``tau = exp(-t^2 / 8n)``
+(Lemma 13), the interpolation threshold ``eta = exp(-(t-1)^2 / 8n)``
+(Lemma 14), the exponent ``alpha = c^2 / 9`` and the window count
+``E = C * exp(alpha * n)`` with ``C`` chosen so that
+``C * exp(alpha n) <= (1/4) * exp((c n - 1)^2 / 8n)`` for every positive
+integer ``n`` (Equation (3)), which yields an overall success probability of
+at least ``1 - 2 E exp(-(c n - 1)^2 / 8n) >= 1/2`` for the adversary.
+
+This module computes all of those quantities, so experiments can plot the
+predicted lower-bound curves and numerically check each inequality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+def talagrand_bound(d: float, n: int) -> float:
+    """Right-hand side of Lemma 9: ``exp(-d^2 / (4n))``.
+
+    Args:
+        d: Hamming-distance radius.
+        n: number of coordinates of the product space.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if d < 0:
+        raise ValueError("d must be non-negative")
+    return math.exp(-(d * d) / (4.0 * n))
+
+
+def talagrand_violated(p_a: float, p_ball: float, d: float, n: int,
+                       slack: float = 0.0) -> bool:
+    """Check whether empirical probabilities violate Lemma 9.
+
+    Args:
+        p_a: measured probability of the set ``A``.
+        p_ball: measured probability of the Hamming ball ``B(A, d)``.
+        d: radius.
+        n: dimension.
+        slack: additive tolerance for Monte-Carlo noise.
+
+    Returns:
+        True if ``p_a * (1 - p_ball)`` exceeds the Talagrand bound by more
+        than ``slack`` — which would indicate a bug (or sampling error), as
+        the inequality is a theorem.
+    """
+    return p_a * (1.0 - p_ball) > talagrand_bound(d, n) + slack
+
+
+def two_set_bound(d: float, n: int) -> float:
+    """Maximum weight a product measure can put on each of two far sets.
+
+    If ``A`` and ``B`` are at Hamming distance ``> d`` then no product
+    measure can satisfy ``P[A] > tau`` and ``P[B] > tau`` for
+    ``tau = exp(-d^2 / (8n))`` — this is the form in which the paper uses
+    Lemma 9 inside Lemma 13.
+    """
+    return math.exp(-(d * d) / (8.0 * n))
+
+
+def separation_threshold(n: int, t: int) -> float:
+    """The threshold ``tau = exp(-t^2 / 8n)`` from Lemma 13."""
+    return two_set_bound(float(t), n)
+
+
+def interpolation_threshold(n: int, t: int) -> float:
+    """The threshold ``eta = exp(-(t-1)^2 / 8n)`` from Lemma 14."""
+    return two_set_bound(float(t - 1), n)
+
+
+@dataclass(frozen=True)
+class LowerBoundConstants:
+    """The constants of Theorem 5 / Theorem 17 for a fault fraction ``c``.
+
+    Attributes:
+        c: the fault fraction (``t = c * n``).
+        alpha: the exponent ``c^2 / 9``.
+        big_c: the constant ``C`` of Equation (3), the largest value for
+            which ``C * exp(alpha n) <= (1/4) exp((cn - 1)^2 / 8n)`` holds
+            for every positive integer ``n``.
+    """
+
+    c: float
+    alpha: float
+    big_c: float
+
+    def predicted_windows(self, n: int) -> float:
+        """The lower-bound window count ``E = C * exp(alpha * n)``."""
+        return self.big_c * math.exp(self.alpha * n)
+
+    def failure_term(self, n: int) -> float:
+        """Per-window failure probability ``2 * exp(-(cn - 1)^2 / 8n)``."""
+        t = self.c * n
+        return 2.0 * math.exp(-((t - 1.0) ** 2) / (8.0 * n))
+
+    def success_probability(self, n: int) -> float:
+        """Adversary success probability ``1 - 2 E exp(-(cn-1)^2 / 8n)``.
+
+        Theorem 5 shows this is at least ``1/2`` for every ``n``.
+        """
+        return 1.0 - self.predicted_windows(n) * self.failure_term(n)
+
+
+def lower_bound_constants(c: float, max_n: int = 4096) -> LowerBoundConstants:
+    """Compute the Theorem 5 constants for fault fraction ``c``.
+
+    ``alpha = c^2 / 9`` is explicit; ``C`` is computed as the infimum over
+    positive integers ``n <= max_n`` of
+    ``(1/4) * exp((cn - 1)^2 / (8n) - alpha * n)``.  Because
+    ``(cn - 1)^2 / 8n - alpha n`` grows linearly in ``n`` (the coefficient
+    is ``c^2/8 - c^2/9 > 0``), the infimum is attained at small ``n`` and
+    ``max_n`` only needs to be moderately large.
+
+    Args:
+        c: fault fraction in (0, 1).
+        max_n: range of ``n`` over which the infimum is evaluated.
+    """
+    if not 0 < c < 1:
+        raise ValueError(f"fault fraction c must lie in (0, 1), got {c}")
+    alpha = (c * c) / 9.0
+    log_candidates = []
+    for n in range(1, max_n + 1):
+        exponent = ((c * n - 1.0) ** 2) / (8.0 * n) - alpha * n
+        log_candidates.append(math.log(0.25) + exponent)
+    big_c = math.exp(min(log_candidates))
+    return LowerBoundConstants(c=c, alpha=alpha, big_c=big_c)
+
+
+def predicted_lower_bound(n: int, c: float) -> float:
+    """Convenience wrapper: the Theorem 5 window count for ``n`` and ``c``."""
+    return lower_bound_constants(c).predicted_windows(n)
+
+
+def lower_bound_curve(ns: List[int], c: float) -> List[float]:
+    """The predicted window counts across a sweep of ``n`` values."""
+    constants = lower_bound_constants(c)
+    return [constants.predicted_windows(n) for n in ns]
+
+
+def equation_3_satisfied(constants: LowerBoundConstants,
+                         ns: Optional[List[int]] = None) -> bool:
+    """Verify Equation (3) numerically over a range of ``n``.
+
+    ``C e^{alpha n} <= (1/4) e^{(cn-1)^2 / 8n}`` must hold for all positive
+    integers ``n``; this checks it over the supplied range (default 1..512).
+    """
+    if ns is None:
+        ns = list(range(1, 513))
+    for n in ns:
+        lhs = math.log(constants.big_c) + constants.alpha * n
+        rhs = math.log(0.25) + ((constants.c * n - 1.0) ** 2) / (8.0 * n)
+        if lhs > rhs + 1e-9:
+            return False
+    return True
+
+
+__all__ = [
+    "talagrand_bound",
+    "talagrand_violated",
+    "two_set_bound",
+    "separation_threshold",
+    "interpolation_threshold",
+    "LowerBoundConstants",
+    "lower_bound_constants",
+    "predicted_lower_bound",
+    "lower_bound_curve",
+    "equation_3_satisfied",
+]

@@ -1,0 +1,22 @@
+"""Agreement protocols: the paper's algorithm and the baselines it builds on."""
+
+from repro.protocols.base import Protocol, ProtocolFactory
+from repro.protocols.ben_or import BenOrAgreement
+from repro.protocols.bracha import BrachaAgreement
+from repro.protocols.committee import (CommitteeElectionProtocol,
+                                       CommitteeRunResult, failure_rate)
+from repro.protocols.registry import (ProtocolInfo, available_protocols,
+                                      get_protocol)
+
+__all__ = [
+    "Protocol",
+    "ProtocolFactory",
+    "BenOrAgreement",
+    "BrachaAgreement",
+    "CommitteeElectionProtocol",
+    "CommitteeRunResult",
+    "failure_rate",
+    "ProtocolInfo",
+    "available_protocols",
+    "get_protocol",
+]

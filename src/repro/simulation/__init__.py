@@ -1,0 +1,55 @@
+"""Asynchronous message-passing simulation substrate.
+
+This package implements the execution model of Section 2 of the paper: a
+complete network of ``n`` processors with dedicated channels, executions as
+sequences of sending / receiving / resetting (and crash) steps, acceptable
+windows for the strongly adaptive adversary, and configurations as joint
+state snapshots used by the lower-bound machinery.
+"""
+
+from repro.simulation.configuration import (Configuration, decided_one,
+                                            decided_zero, hamming_ball,
+                                            hamming_distance,
+                                            point_to_set_distance,
+                                            set_distance)
+from repro.simulation.engine import StepAdversary, StepEngine
+from repro.simulation.errors import (AdversaryBudgetError,
+                                     ConfigurationMismatchError,
+                                     InvalidStepError, InvalidWindowError,
+                                     ProtocolViolationError, SimulationError)
+from repro.simulation.events import Step, StepType
+from repro.simulation.message import Message, broadcast
+from repro.simulation.network import Network
+from repro.simulation.processor import Processor
+from repro.simulation.trace import ExecutionResult
+from repro.simulation.windows import (WindowAdversary, WindowEngine,
+                                      WindowSpec, run_execution)
+
+__all__ = [
+    "Configuration",
+    "decided_zero",
+    "decided_one",
+    "hamming_ball",
+    "hamming_distance",
+    "point_to_set_distance",
+    "set_distance",
+    "StepAdversary",
+    "StepEngine",
+    "SimulationError",
+    "InvalidWindowError",
+    "InvalidStepError",
+    "ProtocolViolationError",
+    "AdversaryBudgetError",
+    "ConfigurationMismatchError",
+    "Step",
+    "StepType",
+    "Message",
+    "broadcast",
+    "Network",
+    "Processor",
+    "ExecutionResult",
+    "WindowAdversary",
+    "WindowEngine",
+    "WindowSpec",
+    "run_execution",
+]

@@ -1,0 +1,226 @@
+"""Step-level asynchronous execution engine.
+
+While the window engine mirrors the acceptable-window structure of the
+strongly adaptive model, the classical asynchronous adversaries of Sections 1
+and 5 (crash and Byzantine) are defined at the granularity of individual
+steps: the adversary repeatedly chooses which processor takes the next
+sending step, which pending message is delivered next, and when failures
+happen.  :class:`StepEngine` provides that granularity.  It is used by the
+Bracha protocol experiments (Byzantine message corruption needs per-message
+control) and by the FLP-flavoured unit tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.simulation.configuration import Configuration
+from repro.simulation.errors import (AdversaryBudgetError, InvalidStepError)
+from repro.simulation.events import Step, StepType
+from repro.simulation.message import Message
+from repro.simulation.network import Network
+from repro.simulation.processor import Processor
+from repro.simulation.trace import ExecutionResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.protocols.base import ProtocolFactory
+
+
+class StepAdversary:
+    """Interface for adversaries driving the step engine.
+
+    The adversary is full-information: it can inspect the engine (all
+    processor states, all pending messages) before choosing each step.
+    """
+
+    def bind(self, engine: "StepEngine") -> None:
+        """Called once before the execution starts."""
+
+    def next_step(self, engine: "StepEngine") -> Optional[Step]:
+        """Return the next step to schedule, or ``None`` to stop."""
+        raise NotImplementedError
+
+
+class StepEngine:
+    """Executes a protocol one fine-grained step at a time."""
+
+    def __init__(self, factory: "ProtocolFactory", inputs: Sequence[int],
+                 seed: Optional[int] = None,
+                 crash_budget: Optional[int] = None,
+                 reset_budget: Optional[int] = None) -> None:
+        """Build the engine.
+
+        Args:
+            factory: builds the per-processor protocol instances.
+            inputs: the ``n`` initial input bits.
+            seed: master randomness seed.
+            crash_budget: maximum number of crash failures the adversary may
+                cause (defaults to ``t``).
+            reset_budget: maximum number of *simultaneously pending* resets
+                is not meaningful at step granularity, so this caps the
+                total number of resetting steps instead (defaults to
+                unlimited; the window engine is the faithful reset model).
+        """
+        self.factory = factory
+        self.n = factory.n
+        self.t = factory.t
+        self.inputs = tuple(inputs)
+        self.network = Network(self.n)
+        protocols = factory.build(list(inputs), seed=seed)
+        self.processors: List[Processor] = [Processor(p) for p in protocols]
+        self.steps_taken = 0
+        self.crash_budget = self.t if crash_budget is None else crash_budget
+        self.reset_budget = reset_budget
+        self.total_crashes = 0
+        self.total_resets = 0
+        self._first_decision_step: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Inspection.
+    # ------------------------------------------------------------------
+    def configuration(self) -> Configuration:
+        """Snapshot the joint processor state."""
+        return Configuration(states=tuple(
+            proc.state_fingerprint() for proc in self.processors))
+
+    def live_processors(self) -> List[int]:
+        """Identities of processors that have not crashed."""
+        return [proc.pid for proc in self.processors if not proc.crashed]
+
+    def pending_messages(self) -> List[Message]:
+        """All undelivered messages."""
+        return self.network.all_pending()
+
+    def any_decided(self) -> bool:
+        """Whether some processor has decided."""
+        return any(proc.decided for proc in self.processors)
+
+    def all_live_decided(self) -> bool:
+        """Whether every non-crashed processor has decided."""
+        return all(proc.decided for proc in self.processors
+                   if not proc.crashed)
+
+    def outputs(self) -> Tuple[Optional[int], ...]:
+        """Current output bits."""
+        return tuple(proc.output for proc in self.processors)
+
+    # ------------------------------------------------------------------
+    # Step application.
+    # ------------------------------------------------------------------
+    def apply_step(self, step: Step) -> None:
+        """Apply one step chosen by the adversary."""
+        if step.step_type is StepType.SEND:
+            self._apply_send(step.pid)
+        elif step.step_type is StepType.RECEIVE:
+            self._apply_receive(step)
+        elif step.step_type is StepType.RESET:
+            self._apply_reset(step.pid)
+        elif step.step_type is StepType.CRASH:
+            self._apply_crash(step.pid)
+        else:  # pragma: no cover - enum is exhaustive
+            raise InvalidStepError(f"unknown step type {step.step_type}")
+        self.steps_taken += 1
+        if self._first_decision_step is None and self.any_decided():
+            self._first_decision_step = self.steps_taken
+
+    def _apply_send(self, pid: int) -> None:
+        proc = self.processors[pid]
+        if proc.crashed:
+            raise InvalidStepError(
+                f"crashed processor {pid} cannot take a sending step")
+        messages = proc.send_step()
+        if messages:
+            self.network.submit(messages,
+                                chain_depth=proc.outgoing_chain_depth)
+
+    def _apply_receive(self, step: Step) -> None:
+        if step.message is None:
+            raise InvalidStepError("receive step carries no message")
+        message = self.network.deliver(step.message)
+        proc = self.processors[message.receiver]
+        if proc.crashed:
+            # Deliveries to crashed processors are silently lost: the model
+            # only requires delivery to processors taking infinitely many
+            # steps.
+            return
+        if step.corrupted_payload is not None:
+            message = message.corrupted(step.corrupted_payload)
+        proc.receive_step(message)
+
+    def _apply_reset(self, pid: int) -> None:
+        if self.reset_budget is not None and \
+                self.total_resets >= self.reset_budget:
+            raise AdversaryBudgetError("reset budget exhausted")
+        proc = self.processors[pid]
+        if proc.crashed:
+            raise InvalidStepError(
+                f"cannot reset crashed processor {pid}")
+        proc.reset()
+        self.total_resets += 1
+
+    def _apply_crash(self, pid: int) -> None:
+        proc = self.processors[pid]
+        if proc.crashed:
+            return
+        if self.total_crashes >= self.crash_budget:
+            raise AdversaryBudgetError(
+                f"adversary exceeded crash budget of {self.crash_budget}")
+        proc.crash()
+        self.total_crashes += 1
+
+    # ------------------------------------------------------------------
+    # Full executions.
+    # ------------------------------------------------------------------
+    def run(self, adversary: StepAdversary, max_steps: int,
+            stop_when: str = "all") -> ExecutionResult:
+        """Run steps chosen by ``adversary`` until a stop condition.
+
+        Args:
+            adversary: the step adversary.
+            max_steps: hard cap on steps.
+            stop_when: ``"first"`` stops at the first decision, ``"all"``
+                when every live processor has decided.
+        """
+        if stop_when not in ("first", "all"):
+            raise ValueError("stop_when must be 'first' or 'all'")
+        adversary.bind(self)
+        while self.steps_taken < max_steps:
+            if stop_when == "first" and self.any_decided():
+                break
+            if stop_when == "all" and self.all_live_decided():
+                break
+            step = adversary.next_step(self)
+            if step is None:
+                break
+            self.apply_step(step)
+        return self.result()
+
+    def result(self) -> ExecutionResult:
+        """Summarise the execution so far."""
+        outputs = self.outputs()
+        chain_depths = [proc.deciding_chain_depth for proc in self.processors
+                        if proc.deciding_chain_depth is not None]
+        decided_values = {o for o in outputs if o is not None}
+        return ExecutionResult(
+            n=self.n,
+            t=self.t,
+            inputs=self.inputs,
+            outputs=outputs,
+            crashed=tuple(pid for pid in range(self.n)
+                          if self.processors[pid].crashed),
+            steps_elapsed=self.steps_taken,
+            first_decision_step=self._first_decision_step,
+            message_chain_length=min(chain_depths) if chain_depths else None,
+            messages_sent=self.network.sent_count,
+            messages_delivered=self.network.delivered_count,
+            total_resets=self.total_resets,
+            total_coin_flips=sum(proc.protocol.coin_flips
+                                 for proc in self.processors),
+            agreement_violated=len(decided_values) > 1,
+            validity_violated=bool(decided_values) and
+            not decided_values.issubset(set(self.inputs)),
+        )
+
+
+__all__ = ["StepAdversary", "StepEngine"]

@@ -1,0 +1,51 @@
+"""Exception types raised by the simulation substrate."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation substrate."""
+
+
+class InvalidWindowError(SimulationError):
+    """An acceptable-window specification violates Definition 1.
+
+    Raised when a window resets more than ``t`` processors, or when some
+    receiver's sender set has fewer than ``n - t`` elements, or when indices
+    fall outside ``[0, n)``.
+    """
+
+
+class InvalidStepError(SimulationError):
+    """A step requested by an adversary cannot be applied.
+
+    Examples: delivering a message that was never sent, delivering to a
+    crashed processor, or letting a crashed processor take a sending step.
+    """
+
+
+class ProtocolViolationError(SimulationError):
+    """A protocol implementation broke a structural contract.
+
+    For example, a protocol declared ``fully_communicative`` failed to send
+    to all processors after hearing from ``n - t`` of them, or a protocol
+    wrote conflicting values to its write-once output bit.
+    """
+
+
+class AdversaryBudgetError(SimulationError):
+    """An adversary exceeded its fault budget (more than ``t`` faults)."""
+
+
+class ConfigurationMismatchError(SimulationError):
+    """Two configurations of different sizes were compared."""
+
+
+__all__ = [
+    "SimulationError",
+    "InvalidWindowError",
+    "InvalidStepError",
+    "ProtocolViolationError",
+    "AdversaryBudgetError",
+    "ConfigurationMismatchError",
+]

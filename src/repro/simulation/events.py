@@ -1,0 +1,87 @@
+"""Step and event types for step-level (fully asynchronous) executions.
+
+The window engine (``repro.simulation.windows``) drives executions one
+acceptable window at a time, which is the natural granularity for the
+strongly adaptive adversary.  The step engine (``repro.simulation.engine``)
+instead exposes the paper's fine-grained step types directly — sending,
+receiving, resetting — plus crash and Byzantine corruption events needed for
+the classical adversaries of Sections 1 and 5.  This module defines the step
+vocabulary shared by the step engine and its adversaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.simulation.message import Message
+
+
+class StepType(enum.Enum):
+    """The kinds of steps a step-level adversary can schedule."""
+
+    SEND = "send"
+    """A processor takes a sending step (places messages in the buffer)."""
+
+    RECEIVE = "receive"
+    """A specific pending message is delivered to its recipient."""
+
+    RESET = "reset"
+    """A processor suffers a resetting failure (memory erased)."""
+
+    CRASH = "crash"
+    """A processor suffers a crash failure (stops forever)."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """A single scheduled step.
+
+    Attributes:
+        step_type: which of the model's step kinds this is.
+        pid: the processor acted upon (the sender for SEND, the recipient
+            for RECEIVE, the victim for RESET/CRASH).
+        message: for RECEIVE steps, the pending message to deliver.
+        corrupted_payload: for RECEIVE steps scheduled by a Byzantine
+            adversary, an optional replacement payload; ``None`` means the
+            message is delivered unmodified.
+    """
+
+    step_type: StepType
+    pid: int
+    message: Optional[Message] = None
+    corrupted_payload: Any = None
+
+    @staticmethod
+    def send(pid: int) -> "Step":
+        """A sending step by processor ``pid``."""
+        return Step(StepType.SEND, pid)
+
+    @staticmethod
+    def receive(message: Message, corrupted_payload: Any = None) -> "Step":
+        """Delivery of ``message`` (optionally with a corrupted payload)."""
+        return Step(StepType.RECEIVE, message.receiver, message=message,
+                    corrupted_payload=corrupted_payload)
+
+    @staticmethod
+    def reset(pid: int) -> "Step":
+        """A resetting failure at processor ``pid``."""
+        return Step(StepType.RESET, pid)
+
+    @staticmethod
+    def crash(pid: int) -> "Step":
+        """A crash failure at processor ``pid``."""
+        return Step(StepType.CRASH, pid)
+
+
+@dataclass
+class StepRecord:
+    """A step together with its position in the execution, for traces."""
+
+    index: int
+    step: Step
+    decided_after: bool = False
+
+
+__all__ = ["StepType", "Step", "StepRecord"]

@@ -1,0 +1,87 @@
+"""Message primitives for the asynchronous message-passing model.
+
+The paper (Section 2) works in a complete network of ``n`` processors where
+every pair of processors is connected by a dedicated message channel, so the
+recipient of a message always correctly identifies the sender.  A message is
+therefore a triple (sender, receiver, contents); we additionally stamp each
+message with a monotonically increasing sequence number when it enters the
+network, which is used for deterministic replay and for message-chain
+accounting (Section 5 measures running time by message-chain length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message travelling on a dedicated sender->receiver channel.
+
+    Attributes:
+        sender: identity of the sending processor (``0 <= sender < n``).
+        receiver: identity of the receiving processor (``0 <= receiver < n``).
+        payload: the message contents.  Protocols use small immutable tuples
+            such as ``("VOTE", round, bit)`` so that configurations remain
+            hashable and comparable.
+        sequence: network-assigned sequence number (``-1`` until the message
+            is handed to a :class:`~repro.simulation.network.Network`).
+        chain_depth: length of the longest message chain ending at this
+            message, i.e. ``1 +`` the depth of the deepest message the sender
+            had received before sending.  Used for Theorem 17 experiments.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any
+    sequence: int = -1
+    chain_depth: int = 1
+
+    def with_sequence(self, sequence: int) -> "Message":
+        """Return a copy stamped with the given network sequence number."""
+        return replace(self, sequence=sequence)
+
+    def with_chain_depth(self, chain_depth: int) -> "Message":
+        """Return a copy carrying the given message-chain depth."""
+        return replace(self, chain_depth=chain_depth)
+
+    def corrupted(self, payload: Any) -> "Message":
+        """Return a copy whose payload has been replaced by an adversary.
+
+        Used by Byzantine adversaries, which may arbitrarily rewrite the
+        contents of messages sent by corrupted processors (the channel
+        still truthfully reports the sender identity).
+        """
+        return replace(self, payload=payload)
+
+    def key(self) -> Tuple[int, int, Any]:
+        """A channel-level identity ignoring sequence/chain bookkeeping."""
+        return (self.sender, self.receiver, self.payload)
+
+
+def broadcast(sender: int, n: int, payload: Any,
+              include_self: bool = True) -> list:
+    """Build the list of messages a processor sends when broadcasting.
+
+    Args:
+        sender: the broadcasting processor's identity.
+        n: total number of processors.
+        payload: the common payload to send to every destination.
+        include_self: whether to include a self-addressed copy.  The paper
+            notes that self-delivery is superfluous in the acceptable-window
+            model (state can be kept locally), but the classic Ben-Or and
+            Bracha protocols count the processor's own message toward their
+            thresholds, so the default includes it.
+
+    Returns:
+        A list of :class:`Message` objects, one per destination.
+    """
+    return [
+        Message(sender=sender, receiver=receiver, payload=payload)
+        for receiver in range(n)
+        if include_self or receiver != sender
+    ]
+
+
+__all__ = ["Message", "broadcast"]

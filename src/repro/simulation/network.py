@@ -1,0 +1,193 @@
+"""The message buffer connecting processors.
+
+The network models the dedicated per-pair channels of the paper's model: a
+sent message sits in the buffer until the adversary schedules its delivery.
+The network never loses or duplicates messages on its own — all scheduling
+power lives in the adversary.  It supports the operations the two execution
+engines need:
+
+* accepting a batch of messages from a sending step (stamping sequence
+  numbers and message-chain depths);
+* enumerating undelivered messages, optionally filtered by receiver and by a
+  set of allowed senders (how acceptable windows express the sets ``S_i``);
+* removing a message once delivered;
+* dropping messages addressed to or sent by crashed processors, when the
+  crash adversary decides they are lost.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.simulation.errors import InvalidStepError
+from repro.simulation.message import Message
+
+
+class Network:
+    """A message buffer with adversary-controlled delivery.
+
+    Attributes:
+        n: number of processors attached to the network.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._sequence = 0
+        # Undelivered messages, keyed by receiver for efficient window
+        # delivery.  Within a channel we preserve send order.
+        self._pending: Dict[int, List[Message]] = defaultdict(list)
+        self._delivered_count = 0
+        self._sent_count = 0
+
+    # ------------------------------------------------------------------
+    # Sending.
+    # ------------------------------------------------------------------
+    def submit(self, messages: Iterable[Message],
+               chain_depth: int = 1) -> List[Message]:
+        """Place messages into the buffer, stamping bookkeeping fields.
+
+        Args:
+            messages: messages produced by a sending step.
+            chain_depth: message-chain depth to stamp on each message
+                (``1 +`` the deepest chain the sender had received).
+
+        Returns:
+            The stamped copies actually stored in the buffer.
+        """
+        stored = []
+        for message in messages:
+            if not 0 <= message.receiver < self.n:
+                raise InvalidStepError(
+                    f"message addressed to unknown processor "
+                    f"{message.receiver}")
+            if not 0 <= message.sender < self.n:
+                raise InvalidStepError(
+                    f"message from unknown processor {message.sender}")
+            stamped = message.with_sequence(self._sequence)
+            stamped = stamped.with_chain_depth(chain_depth)
+            self._sequence += 1
+            self._sent_count += 1
+            self._pending[message.receiver].append(stamped)
+            stored.append(stamped)
+        return stored
+
+    # ------------------------------------------------------------------
+    # Inspection.
+    # ------------------------------------------------------------------
+    def pending_for(self, receiver: int,
+                    senders: Optional[Set[int]] = None) -> List[Message]:
+        """Undelivered messages addressed to ``receiver``.
+
+        Args:
+            receiver: the destination processor.
+            senders: if given, only messages from these senders are listed.
+
+        Returns:
+            Messages in send order.
+        """
+        messages = self._pending.get(receiver, [])
+        if senders is None:
+            return list(messages)
+        return [m for m in messages if m.sender in senders]
+
+    def pending_count(self) -> int:
+        """Total number of undelivered messages."""
+        return sum(len(msgs) for msgs in self._pending.values())
+
+    def all_pending(self) -> List[Message]:
+        """All undelivered messages, in global send order."""
+        messages = [m for msgs in self._pending.values() for m in msgs]
+        return sorted(messages, key=lambda m: m.sequence)
+
+    @property
+    def sent_count(self) -> int:
+        """Total messages ever submitted."""
+        return self._sent_count
+
+    @property
+    def delivered_count(self) -> int:
+        """Total messages ever delivered."""
+        return self._delivered_count
+
+    # ------------------------------------------------------------------
+    # Delivery and loss.
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> Message:
+        """Remove a specific pending message from the buffer.
+
+        Raises:
+            InvalidStepError: if the message is not pending (e.g. the
+                adversary asked to deliver something that was never sent).
+        """
+        queue = self._pending.get(message.receiver, [])
+        for index, candidate in enumerate(queue):
+            if candidate.sequence == message.sequence:
+                del queue[index]
+                self._delivered_count += 1
+                return candidate
+        raise InvalidStepError(
+            f"message {message} is not pending delivery")
+
+    def take_window_deliveries(self, receiver: int,
+                               senders: Set[int]) -> List[Message]:
+        """Remove and return the freshest message from each allowed sender.
+
+        Acceptable windows deliver, to each processor ``i``, *the messages
+        just sent to it* by the senders in ``S_i``.  In the window engine
+        each sender produces at most one message per destination per window,
+        so this returns at most one message per allowed sender — the most
+        recently sent one — leaving older undelivered messages in the buffer
+        (they model the asynchrony the adversary may exploit later).
+        """
+        queue = self._pending.get(receiver, [])
+        newest: Dict[int, Message] = {}
+        for message in queue:
+            if message.sender in senders:
+                current = newest.get(message.sender)
+                if current is None or message.sequence > current.sequence:
+                    newest[message.sender] = message
+        deliveries = sorted(newest.values(), key=lambda m: m.sender)
+        for message in deliveries:
+            self.deliver(message)
+        return deliveries
+
+    def drop_channel(self, sender: Optional[int] = None,
+                     receiver: Optional[int] = None) -> int:
+        """Drop pending messages matching a sender and/or receiver filter.
+
+        Used when a crash adversary declares that a crashed processor's
+        in-flight messages are lost.  Returns the number of dropped messages.
+        """
+        dropped = 0
+        for dest, queue in self._pending.items():
+            if receiver is not None and dest != receiver:
+                continue
+            keep = []
+            for message in queue:
+                if sender is None or message.sender == sender:
+                    dropped += 1
+                else:
+                    keep.append(message)
+            self._pending[dest] = keep
+        return dropped
+
+    def clear_stale_rounds(self, receiver: int, is_stale) -> int:
+        """Drop pending messages for ``receiver`` whose payload is stale.
+
+        Args:
+            receiver: the destination whose queue is pruned.
+            is_stale: predicate over payloads; messages whose payload the
+                predicate accepts are discarded.
+
+        Returns:
+            Number of discarded messages.
+        """
+        queue = self._pending.get(receiver, [])
+        keep = [m for m in queue if not is_stale(m.payload)]
+        dropped = len(queue) - len(keep)
+        self._pending[receiver] = keep
+        return dropped
+
+
+__all__ = ["Network"]

@@ -1,0 +1,132 @@
+"""Execution results and traces.
+
+Both execution engines produce an :class:`ExecutionResult` summarising the
+quantities the paper's theorems talk about: whether agreement and validity
+held in every reachable configuration along the way, when the first decision
+happened (in acceptable windows for the strongly adaptive model, in
+message-chain length for the crash model), and how much communication was
+used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.simulation.configuration import Configuration
+
+
+@dataclass
+class ExecutionResult:
+    """Summary of a single simulated execution.
+
+    Attributes:
+        n: number of processors.
+        t: fault bound used by the adversary/protocol.
+        inputs: the initial input bits.
+        outputs: the final output bits (``None`` for undecided processors).
+        crashed: identities of processors that crashed during the execution.
+        windows_elapsed: number of acceptable windows executed (window
+            engine) or rounds of the round-structured crash schedule.
+        steps_elapsed: number of fine-grained steps executed (step engine).
+        first_decision_window: index (1-based) of the window in which the
+            first processor decided, or ``None`` if no decision occurred.
+        first_decision_step: step index of the first decision (step engine).
+        message_chain_length: longest message chain received by any
+            processor before it decided — the running-time measure used for
+            the crash-failure lower bound (Theorem 17).
+        messages_sent: total messages submitted to the network.
+        messages_delivered: total messages delivered.
+        total_resets: number of resetting failures applied.
+        total_coin_flips: total local coin flips across all processors.
+        agreement_violated: True if two processors ever decided
+            conflicting values (breaks Definition 2).
+        validity_violated: True if some decided value matched no input.
+        configurations: optional per-window configuration snapshots, when
+            the engine was asked to record them.
+    """
+
+    n: int
+    t: int
+    inputs: Tuple[int, ...]
+    outputs: Tuple[Optional[int], ...]
+    crashed: Tuple[int, ...] = ()
+    windows_elapsed: int = 0
+    steps_elapsed: int = 0
+    first_decision_window: Optional[int] = None
+    first_decision_step: Optional[int] = None
+    message_chain_length: Optional[int] = None
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    total_resets: int = 0
+    total_coin_flips: int = 0
+    agreement_violated: bool = False
+    validity_violated: bool = False
+    configurations: List[Configuration] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived predicates.
+    # ------------------------------------------------------------------
+    @property
+    def decided(self) -> bool:
+        """Whether at least one processor decided."""
+        return any(output is not None for output in self.outputs)
+
+    @property
+    def decision_values(self) -> Set[int]:
+        """The set of decided values."""
+        return {output for output in self.outputs if output is not None}
+
+    @property
+    def all_live_decided(self) -> bool:
+        """Whether every non-crashed processor decided."""
+        crashed = set(self.crashed)
+        return all(output is not None
+                   for pid, output in enumerate(self.outputs)
+                   if pid not in crashed)
+
+    @property
+    def agreement_ok(self) -> bool:
+        """Safety: no two processors decided conflicting values."""
+        return not self.agreement_violated and len(self.decision_values) <= 1
+
+    @property
+    def validity_ok(self) -> bool:
+        """Validity: every decided value equals some processor's input."""
+        if self.validity_violated:
+            return False
+        return self.decision_values.issubset(set(self.inputs))
+
+    @property
+    def correct(self) -> bool:
+        """Agreement and validity both hold (Definition 2)."""
+        return self.agreement_ok and self.validity_ok
+
+    def running_time_windows(self) -> Optional[int]:
+        """Running time in acceptable windows until the first decision.
+
+        This is the running-time measure used for the strongly adaptive
+        adversary (Section 2): the number of acceptable windows that pass
+        before the first processor decides.
+        """
+        return self.first_decision_window
+
+    def summary(self) -> dict:
+        """A flat dictionary convenient for building experiment tables."""
+        return {
+            "n": self.n,
+            "t": self.t,
+            "decided": self.decided,
+            "decision_values": sorted(self.decision_values),
+            "windows": self.windows_elapsed,
+            "first_decision_window": self.first_decision_window,
+            "message_chain_length": self.message_chain_length,
+            "messages_sent": self.messages_sent,
+            "total_resets": self.total_resets,
+            "coin_flips": self.total_coin_flips,
+            "agreement_ok": self.agreement_ok,
+            "validity_ok": self.validity_ok,
+        }
+
+
+__all__ = ["ExecutionResult"]

@@ -1,0 +1,375 @@
+"""Acceptable windows and the window-structured execution engine.
+
+Definition 1 of the paper: an *acceptable window* is a consecutive segment of
+steps in which (1) all ``n`` processors take sending steps, (2) each
+processor ``i`` receives the messages just sent to it by a set ``S_i`` of at
+least ``n - t`` senders, and (3) at most ``t`` resetting steps occur.  The
+strongly adaptive adversary must structure every infinite execution as a
+concatenation of acceptable windows; the number of windows before the first
+decision is the running-time measure of Theorems 4 and 5.
+
+The :class:`WindowEngine` executes a protocol one acceptable window at a
+time, with the window contents (the sets ``R, S_1, ..., S_n`` plus, for the
+crash-model experiments, a crash set) chosen by a window adversary.  Because
+the window structure is itself the model, this engine is an exact — not
+approximate — realisation of the paper's execution model.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Callable, FrozenSet, List, Optional,
+                    Sequence, Tuple)
+
+from repro.simulation.configuration import Configuration
+from repro.simulation.errors import (AdversaryBudgetError, InvalidWindowError)
+from repro.simulation.network import Network
+from repro.simulation.processor import Processor
+from repro.simulation.trace import ExecutionResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.protocols.base import ProtocolFactory
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """The adversary's choices for one acceptable window.
+
+    Attributes:
+        senders_for: for each processor ``i``, the set ``S_i`` of senders
+            whose freshly sent messages are delivered to ``i`` this window.
+            Each set must have size at least ``n - t`` (Definition 1).
+        resets: the set ``R`` of processors reset at the end of the window,
+            of size at most ``t``.
+        crashes: processors crashed at the start of the window.  Not part of
+            Definition 1 (the strongly adaptive adversary uses resets, not
+            crashes); used when the same engine drives the crash-failure
+            experiments of Section 5, where the cumulative number of crashes
+            is bounded by ``t``.
+        deliver_last: senders whose messages are delivered *after* everyone
+            else's within the window.  Definition 1 lets the adversary pick
+            the order of the receiving steps; since the protocols act as
+            soon as their waiting threshold (``T1`` or ``n - t``) is
+            reached, pushing selected senders to the back of the delivery
+            order effectively hides their votes from that decision without
+            violating the delivery requirement.  Empty by default (delivery
+            in sender order).
+    """
+
+    senders_for: Tuple[FrozenSet[int], ...]
+    resets: FrozenSet[int] = frozenset()
+    crashes: FrozenSet[int] = frozenset()
+    deliver_last: FrozenSet[int] = frozenset()
+
+    @staticmethod
+    def full_delivery(n: int) -> "WindowSpec":
+        """The fault-free window: everyone hears everyone, nobody is reset."""
+        everyone = frozenset(range(n))
+        return WindowSpec(senders_for=tuple(everyone for _ in range(n)))
+
+    @staticmethod
+    def uniform(n: int, senders: FrozenSet[int],
+                resets: FrozenSet[int] = frozenset(),
+                crashes: FrozenSet[int] = frozenset(),
+                deliver_last: FrozenSet[int] = frozenset()) -> "WindowSpec":
+        """A window where every processor hears from the same sender set."""
+        return WindowSpec(senders_for=tuple(senders for _ in range(n)),
+                          resets=resets, crashes=crashes,
+                          deliver_last=deliver_last)
+
+    def validate(self, n: int, t: int) -> None:
+        """Check the Definition 1 constraints, raising on violation."""
+        if len(self.senders_for) != n:
+            raise InvalidWindowError(
+                f"window specifies sender sets for {len(self.senders_for)} "
+                f"processors, expected {n}")
+        for pid, senders in enumerate(self.senders_for):
+            if len(senders) < n - t:
+                raise InvalidWindowError(
+                    f"sender set for processor {pid} has size "
+                    f"{len(senders)} < n - t = {n - t}")
+            if any(not 0 <= s < n for s in senders):
+                raise InvalidWindowError(
+                    f"sender set for processor {pid} contains identities "
+                    f"outside [0, {n})")
+        if len(self.resets) > t:
+            raise InvalidWindowError(
+                f"window resets {len(self.resets)} > t = {t} processors")
+        if any(not 0 <= r < n for r in self.resets):
+            raise InvalidWindowError("reset set contains invalid identities")
+        if any(not 0 <= c < n for c in self.crashes):
+            raise InvalidWindowError("crash set contains invalid identities")
+        if any(not 0 <= d < n for d in self.deliver_last):
+            raise InvalidWindowError(
+                "deliver_last contains invalid identities")
+
+
+class WindowAdversary:
+    """Interface for adversaries driving the window engine.
+
+    A window adversary is a full-information adversary: it is handed the
+    engine itself and may inspect every processor's state and every pending
+    message before choosing the next window.  Subclasses override
+    :meth:`next_window`.
+    """
+
+    def bind(self, engine: "WindowEngine") -> None:
+        """Called once before the execution starts."""
+
+    def next_window(self, engine: "WindowEngine") -> WindowSpec:
+        """Return the specification of the next acceptable window."""
+        raise NotImplementedError
+
+    def choose_inputs(self, n: int, rng: random.Random) -> Optional[List[int]]:
+        """Optionally let the adversary pick the initial input bits.
+
+        The lower bound (Theorem 5) quantifies over input settings as well
+        as schedules, so adversaries that implement the input-interpolation
+        argument override this.  Returning ``None`` keeps the caller's
+        inputs.
+        """
+        return None
+
+
+class WindowEngine:
+    """Executes a protocol window by window under a window adversary."""
+
+    def __init__(self, factory: "ProtocolFactory", inputs: Sequence[int],
+                 seed: Optional[int] = None,
+                 record_configurations: bool = False) -> None:
+        """Build the engine.
+
+        Args:
+            factory: builds the per-processor protocol instances.
+            inputs: the ``n`` initial input bits.
+            seed: master seed for all processor randomness.
+            record_configurations: keep a per-window configuration snapshot
+                (needed by the lower-bound machinery, off by default to keep
+                long executions cheap).
+        """
+        self.factory = factory
+        self.n = factory.n
+        self.t = factory.t
+        self.inputs = tuple(inputs)
+        self.seed = seed
+        self.record_configurations = record_configurations
+        self.network = Network(self.n)
+        protocols = factory.build(list(inputs), seed=seed)
+        self.processors: List[Processor] = [Processor(p) for p in protocols]
+        self.window_index = 0
+        self.total_resets = 0
+        self.total_crashes = 0
+        self._first_decision_window: Optional[int] = None
+        self._configurations: List[Configuration] = []
+        if record_configurations:
+            self._configurations.append(self.configuration())
+
+    # ------------------------------------------------------------------
+    # Inspection (what a full-information adversary can see).
+    # ------------------------------------------------------------------
+    def configuration(self) -> Configuration:
+        """Snapshot the joint processor state."""
+        return Configuration(states=tuple(
+            proc.state_fingerprint() for proc in self.processors))
+
+    def live_processors(self) -> List[int]:
+        """Identities of processors that have not crashed."""
+        return [proc.pid for proc in self.processors if not proc.crashed]
+
+    def crashed_processors(self) -> List[int]:
+        """Identities of crashed processors."""
+        return [proc.pid for proc in self.processors if proc.crashed]
+
+    def current_estimates(self) -> List[Optional[int]]:
+        """Each processor's current estimate, as exposed by the protocol."""
+        return [proc.protocol.current_estimate() for proc in self.processors]
+
+    def outputs(self) -> Tuple[Optional[int], ...]:
+        """Current output bits."""
+        return tuple(proc.output for proc in self.processors)
+
+    def any_decided(self) -> bool:
+        """Whether some processor has decided."""
+        return any(proc.decided for proc in self.processors)
+
+    def all_live_decided(self) -> bool:
+        """Whether every non-crashed processor has decided."""
+        return all(proc.decided for proc in self.processors
+                   if not proc.crashed)
+
+    @property
+    def configurations(self) -> List[Configuration]:
+        """Recorded per-window configurations (if recording was enabled)."""
+        return list(self._configurations)
+
+    # ------------------------------------------------------------------
+    # Cloning (used by lookahead adversaries and the lower-bound
+    # machinery, which must explore alternative continuations of the same
+    # partial execution).
+    # ------------------------------------------------------------------
+    def clone(self) -> "WindowEngine":
+        """A deep copy of the engine, sharing no mutable state."""
+        return copy.deepcopy(self)
+
+    def reseed(self, seed: int) -> None:
+        """Replace every processor's randomness stream.
+
+        Cloned engines carry cloned random-number generators, which would
+        make repeated Monte-Carlo continuations identical; reseeding with
+        distinct values restores independent local randomness, matching the
+        model's assumption that each processor's source is fresh and
+        independent.
+        """
+        master = random.Random(seed)
+        for proc in self.processors:
+            proc.protocol.rng.seed(master.getrandbits(64))
+
+    # ------------------------------------------------------------------
+    # Window execution.
+    # ------------------------------------------------------------------
+    def run_window(self, spec: WindowSpec) -> Configuration:
+        """Execute one acceptable window and return the new configuration.
+
+        The window proceeds exactly as Definition 1 prescribes: crashes
+        (when used in the crash model) take effect first, then all live
+        processors take sending steps, then each processor receives the
+        freshly sent messages from its sender set, and finally the reset
+        steps are applied.
+        """
+        spec.validate(self.n, self.t)
+        self._apply_crashes(spec.crashes)
+
+        # Phase 1: sending steps for all (live) processors.
+        for proc in self.processors:
+            if proc.crashed:
+                continue
+            messages = proc.send_step()
+            if messages:
+                self.network.submit(messages,
+                                    chain_depth=proc.outgoing_chain_depth)
+
+        # Phase 2: receiving steps.  The adversary controls the order of
+        # receiving steps within the window; deprioritised senders are
+        # delivered last.
+        for proc in self.processors:
+            if proc.crashed:
+                continue
+            senders = set(spec.senders_for[proc.pid])
+            deliveries = self.network.take_window_deliveries(proc.pid,
+                                                             senders)
+            if spec.deliver_last:
+                deliveries.sort(key=lambda message:
+                                (message.sender in spec.deliver_last,
+                                 message.sender))
+            for message in deliveries:
+                proc.receive_step(message)
+
+        # Phase 3: resetting steps.
+        for pid in sorted(spec.resets):
+            proc = self.processors[pid]
+            if not proc.crashed:
+                proc.reset()
+                self.total_resets += 1
+
+        self.window_index += 1
+        if self._first_decision_window is None and self.any_decided():
+            self._first_decision_window = self.window_index
+        configuration = self.configuration()
+        if self.record_configurations:
+            self._configurations.append(configuration)
+        return configuration
+
+    def _apply_crashes(self, crashes: FrozenSet[int]) -> None:
+        for pid in sorted(crashes):
+            proc = self.processors[pid]
+            if not proc.crashed:
+                proc.crash()
+                self.total_crashes += 1
+        if self.total_crashes > self.t:
+            raise AdversaryBudgetError(
+                f"adversary crashed {self.total_crashes} > t = {self.t} "
+                f"processors")
+
+    # ------------------------------------------------------------------
+    # Full executions.
+    # ------------------------------------------------------------------
+    def run(self, adversary: WindowAdversary, max_windows: int,
+            stop_when: str = "all") -> ExecutionResult:
+        """Run windows chosen by ``adversary`` until a stop condition.
+
+        Args:
+            adversary: the window adversary choosing each window.
+            max_windows: hard cap on the number of windows (the caller's
+                stand-in for "the adversary gave up"); executions that hit
+                the cap are reported undecided-so-far rather than erroring.
+            stop_when: ``"first"`` stops as soon as any processor decides
+                (the paper's running-time measure), ``"all"`` keeps going
+                until every live processor has decided.
+
+        Returns:
+            An :class:`ExecutionResult` for the (partial) execution.
+        """
+        if stop_when not in ("first", "all"):
+            raise ValueError("stop_when must be 'first' or 'all'")
+        adversary.bind(self)
+        while self.window_index < max_windows:
+            if stop_when == "first" and self.any_decided():
+                break
+            if stop_when == "all" and self.all_live_decided():
+                break
+            spec = adversary.next_window(self)
+            self.run_window(spec)
+        return self.result()
+
+    def result(self) -> ExecutionResult:
+        """Summarise the execution so far."""
+        outputs = self.outputs()
+        chain_depths = [proc.deciding_chain_depth for proc in self.processors
+                        if proc.deciding_chain_depth is not None]
+        return ExecutionResult(
+            n=self.n,
+            t=self.t,
+            inputs=self.inputs,
+            outputs=outputs,
+            crashed=tuple(self.crashed_processors()),
+            windows_elapsed=self.window_index,
+            first_decision_window=self._first_decision_window,
+            message_chain_length=min(chain_depths) if chain_depths else None,
+            messages_sent=self.network.sent_count,
+            messages_delivered=self.network.delivered_count,
+            total_resets=self.total_resets,
+            total_coin_flips=sum(proc.protocol.coin_flips
+                                 for proc in self.processors),
+            agreement_violated=len({o for o in outputs
+                                    if o is not None}) > 1,
+            validity_violated=not {o for o in outputs
+                                   if o is not None}.issubset(
+                                       set(self.inputs))
+            if any(o is not None for o in outputs) else False,
+            configurations=self.configurations,
+        )
+
+
+def run_execution(protocol_cls, n: int, t: int, inputs: Sequence[int],
+                  adversary: WindowAdversary, max_windows: int,
+                  seed: Optional[int] = None, stop_when: str = "all",
+                  record_configurations: bool = False,
+                  **protocol_kwargs) -> ExecutionResult:
+    """Convenience wrapper: build an engine and run a full execution.
+
+    This is the main entry point used by examples, experiments and tests
+    when they do not need to keep the engine around.
+    """
+    # Imported here to keep the simulation layer free of a module-level
+    # dependency on the protocol layer (which depends back on simulation).
+    from repro.protocols.base import ProtocolFactory
+
+    factory = ProtocolFactory(protocol_cls, n=n, t=t, **protocol_kwargs)
+    engine = WindowEngine(factory, inputs, seed=seed,
+                          record_configurations=record_configurations)
+    return engine.run(adversary, max_windows=max_windows, stop_when=stop_when)
+
+
+__all__ = ["WindowSpec", "WindowAdversary", "WindowEngine", "run_execution"]

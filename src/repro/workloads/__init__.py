@@ -1,0 +1,13 @@
+"""Input-bit workloads used by the experiments."""
+
+from repro.workloads.inputs import (alternating, ones_prefix, random_inputs,
+                                    split, standard_workloads, unanimous)
+
+__all__ = [
+    "alternating",
+    "ones_prefix",
+    "random_inputs",
+    "split",
+    "standard_workloads",
+    "unanimous",
+]

@@ -1,0 +1,73 @@
+"""Input-bit assignments (workloads) used across experiments.
+
+The paper's running-time behaviour depends strongly on the input setting:
+unanimous inputs decide immediately (validity forces the outcome), while an
+even split lets the adversary stall the threshold-voting algorithms for
+exponentially many windows.  The adversarial assignment of Theorem 5 is
+found by interpolating between all-0 and all-1; workloads here provide all
+of these plus random assignments for correctness sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+def unanimous(n: int, value: int) -> List[int]:
+    """All processors share the same input bit."""
+    if value not in (0, 1):
+        raise ValueError("input bits must be 0 or 1")
+    return [value] * n
+
+
+def split(n: int) -> List[int]:
+    """An (almost) even split: the first half 1, the rest 0.
+
+    This is the input setting Section 3 uses to exhibit the exponential
+    running time of the threshold-voting algorithm.
+    """
+    ones = n // 2
+    return [1] * ones + [0] * (n - ones)
+
+
+def alternating(n: int) -> List[int]:
+    """Inputs alternate 0, 1, 0, 1, ... (an even split interleaved)."""
+    return [pid % 2 for pid in range(n)]
+
+
+def random_inputs(n: int, seed: Optional[int] = None,
+                  probability_one: float = 0.5) -> List[int]:
+    """Independent random inputs with the given bias."""
+    if not 0.0 <= probability_one <= 1.0:
+        raise ValueError("probability_one must lie in [0, 1]")
+    rng = random.Random(seed)
+    return [1 if rng.random() < probability_one else 0 for _ in range(n)]
+
+
+def ones_prefix(n: int, ones: int) -> List[int]:
+    """The interpolation family of Theorem 5: ``ones`` ones then zeros."""
+    if not 0 <= ones <= n:
+        raise ValueError("ones must lie in [0, n]")
+    return [1] * ones + [0] * (n - ones)
+
+
+def standard_workloads(n: int, seed: Optional[int] = None) -> dict:
+    """The named workloads used by the correctness sweeps (experiment E1)."""
+    return {
+        "unanimous-0": unanimous(n, 0),
+        "unanimous-1": unanimous(n, 1),
+        "split": split(n),
+        "alternating": alternating(n),
+        "random": random_inputs(n, seed=seed),
+    }
+
+
+__all__ = [
+    "unanimous",
+    "split",
+    "alternating",
+    "random_inputs",
+    "ones_prefix",
+    "standard_workloads",
+]

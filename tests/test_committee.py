@@ -1,0 +1,83 @@
+"""Unit tests for the committee-election contrast protocol (E5 substrate)."""
+
+import pytest
+
+from repro.protocols.committee import (CommitteeElectionProtocol,
+                                       CommitteeRunResult, failure_rate)
+from repro.workloads.inputs import split, unanimous
+
+
+class TestConstruction:
+    def test_rejects_tiny_networks(self):
+        with pytest.raises(ValueError):
+            CommitteeElectionProtocol(n=3, t=1)
+
+    def test_rejects_bad_fault_bound(self):
+        with pytest.raises(ValueError):
+            CommitteeElectionProtocol(n=16, t=16)
+
+    def test_committee_size_is_polylogarithmic(self):
+        small = CommitteeElectionProtocol(n=32, t=5)
+        large = CommitteeElectionProtocol(n=1024, t=100)
+        assert small.committee_size >= 4
+        assert large.committee_size <= 3 * 11  # 3 * log2(1024) + rounding
+        assert large.committee_size > small.committee_size / 4
+
+
+class TestRuns:
+    def test_run_rejects_wrong_input_length(self):
+        protocol = CommitteeElectionProtocol(n=32, t=5)
+        with pytest.raises(ValueError):
+            protocol.run([0] * 5)
+
+    def test_no_corruption_is_correct_and_fast(self):
+        protocol = CommitteeElectionProtocol(n=64, t=10)
+        result = protocol.run(split(64), corrupted=set(), seed=1)
+        assert isinstance(result, CommitteeRunResult)
+        assert result.correct
+        assert result.decided
+        assert result.decision in (0, 1)
+        assert result.communication_rounds < 64
+
+    def test_unanimous_inputs_yield_the_common_value_when_honest(self):
+        protocol = CommitteeElectionProtocol(n=64, t=10)
+        result = protocol.run(unanimous(64, 1), corrupted=set(), seed=3)
+        assert result.decision == 1
+
+    def test_explicit_corrupted_set_over_budget_rejected(self):
+        protocol = CommitteeElectionProtocol(n=32, t=2)
+        with pytest.raises(ValueError):
+            protocol.run(split(32), corrupted=set(range(5)))
+
+    def test_adaptive_adversary_corrupts_final_committee(self):
+        protocol = CommitteeElectionProtocol(n=64, t=20)
+        result = protocol.run(split(64), adaptive=True, seed=5)
+        assert result.final_corrupted_fraction >= 1 / 3
+        assert not result.correct
+
+    def test_rounds_grow_slowly_with_n(self):
+        rounds = []
+        for n in (32, 128, 512):
+            protocol = CommitteeElectionProtocol(n=n, t=max(1, n // 10))
+            result = protocol.run(split(n), corrupted=set(), seed=7)
+            rounds.append(result.communication_rounds)
+        # Polylogarithmic growth: far slower than linear in n.
+        assert rounds[-1] < 32
+        assert rounds[-1] <= rounds[0] * 4
+
+
+class TestFailureRates:
+    def test_adaptive_fails_much_more_often_than_nonadaptive(self):
+        protocol = CommitteeElectionProtocol(n=64, t=12)
+        nonadaptive = failure_rate(protocol, split(64), trials=30,
+                                   adaptive=False, seed=11)
+        adaptive = failure_rate(protocol, split(64), trials=30,
+                                adaptive=True, seed=11)
+        assert adaptive >= 0.9
+        assert nonadaptive < adaptive
+
+    def test_zero_faults_never_fail(self):
+        protocol = CommitteeElectionProtocol(n=32, t=1)
+        rate = failure_rate(protocol, unanimous(32, 0), trials=20,
+                            adaptive=False, seed=2)
+        assert rate <= 0.1

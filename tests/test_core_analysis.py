@@ -1,0 +1,72 @@
+"""Unit tests for the analytic running-time model (Section 3 analysis)."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import (binomial_tail_at_least,
+                                 expected_windows_curve,
+                                 exponential_growth_rate,
+                                 probability_all_coins_agree,
+                                 split_vote_analysis,
+                                 unanimous_decision_windows)
+from repro.core.thresholds import default_thresholds, max_tolerable_t
+
+
+class TestBinomialTail:
+    def test_extreme_cases(self):
+        assert binomial_tail_at_least(10, 0) == 1.0
+        assert binomial_tail_at_least(10, -3) == 1.0
+        assert binomial_tail_at_least(10, 11) == 0.0
+
+    def test_matches_direct_computation(self):
+        # P[Binomial(4, 1/2) >= 3] = (4 + 1) / 16.
+        assert binomial_tail_at_least(4, 3) == pytest.approx(5 / 16)
+
+    def test_monotone_in_threshold(self):
+        tails = [binomial_tail_at_least(20, k) for k in range(0, 21)]
+        assert tails == sorted(tails, reverse=True)
+
+
+class TestCoinAgreement:
+    def test_probability_all_coins_agree(self):
+        assert probability_all_coins_agree(1) == 1.0
+        assert probability_all_coins_agree(3) == pytest.approx(0.25)
+        assert probability_all_coins_agree(10) == pytest.approx(2 ** -9)
+
+    def test_unanimous_decision_takes_one_window(self):
+        assert unanimous_decision_windows() == 1
+
+
+class TestSplitVoteAnalysis:
+    def test_expected_windows_exceed_one(self):
+        analysis = split_vote_analysis(default_thresholds(24, 3))
+        assert analysis.escape_probability <= 1.0
+        assert analysis.expected_windows > 1.0
+
+    def test_expected_windows_grow_with_n_at_fixed_fraction(self):
+        configs = []
+        for n in (18, 24, 30, 36, 48):
+            t = max_tolerable_t(n)
+            configs.append(default_thresholds(n, t))
+        curve = expected_windows_curve(configs)
+        assert all(b >= a * 0.8 for a, b in zip(curve, curve[1:]))
+        assert curve[-1] > curve[0]
+
+    def test_growth_rate_is_positive(self):
+        configs = [default_thresholds(n, max_tolerable_t(n))
+                   for n in (18, 24, 30, 36, 48, 60)]
+        rate = exponential_growth_rate(configs)
+        assert rate > 0
+
+    def test_growth_rate_requires_two_points(self):
+        with pytest.raises(ValueError):
+            exponential_growth_rate([default_thresholds(24, 3)])
+
+    def test_fast_decide_thresholds_beat_the_defaults(self):
+        """The paper's remark: a smaller T2/T3 improves running time."""
+        from repro.core.thresholds import fast_decide_thresholds
+
+        default = split_vote_analysis(default_thresholds(36, 5))
+        fast = split_vote_analysis(fast_decide_thresholds(36, 5))
+        assert fast.expected_windows <= default.expected_windows

@@ -1,0 +1,165 @@
+"""Integration tests: protocol x adversary safety and liveness invariants.
+
+These are the repository's executable statement of the paper's correctness
+claims: against every legal strongly adaptive schedule we can construct,
+the reset-tolerant algorithm never violates agreement or validity, and it
+terminates; the baselines satisfy the same invariants in their own fault
+models; and the adversarial slowdowns have the shape the paper describes.
+"""
+
+import random
+
+import pytest
+
+from repro.adversaries.benign import (BenignAdversary,
+                                      RandomSchedulerAdversary,
+                                      SilencingAdversary)
+from repro.adversaries.crash import (CrashAtDecisionAdversary,
+                                     StaticCrashAdversary)
+from repro.adversaries.interpolation import LookaheadAdversary
+from repro.adversaries.polarizing import PolarizingAdversary
+from repro.adversaries.split_vote import (AdaptiveResettingAdversary,
+                                          SplitVoteAdversary)
+from repro.core.reset_tolerant import ResetTolerantAgreement
+from repro.core.thresholds import max_tolerable_t
+from repro.protocols.ben_or import BenOrAgreement
+from repro.simulation.windows import run_execution
+from repro.workloads.inputs import standard_workloads
+
+
+ADVERSARY_FACTORIES = {
+    "benign": lambda seed: BenignAdversary(),
+    "random": lambda seed: RandomSchedulerAdversary(seed=seed,
+                                                    reset_probability=0.7),
+    "silencing": lambda seed: SilencingAdversary(),
+    "split-vote": lambda seed: SplitVoteAdversary(seed=seed),
+    "adaptive-resetting": lambda seed: AdaptiveResettingAdversary(seed=seed),
+    "polarizing": lambda seed: PolarizingAdversary(seed=seed),
+}
+
+
+class TestResetTolerantInvariants:
+    @pytest.mark.parametrize("adversary_name",
+                             sorted(ADVERSARY_FACTORIES))
+    @pytest.mark.parametrize("workload", ["unanimous-0", "unanimous-1",
+                                          "split", "random"])
+    def test_agreement_validity_termination(self, adversary_name, workload,
+                                            rng_seed):
+        n = 13
+        t = max_tolerable_t(n)
+        inputs = standard_workloads(n, seed=rng_seed)[workload]
+        adversary = ADVERSARY_FACTORIES[adversary_name](rng_seed)
+        result = run_execution(ResetTolerantAgreement, n=n, t=t,
+                               inputs=inputs, adversary=adversary,
+                               max_windows=30000, seed=rng_seed,
+                               stop_when="all")
+        assert result.agreement_ok, f"{adversary_name}/{workload}"
+        assert result.validity_ok, f"{adversary_name}/{workload}"
+        assert result.all_live_decided, f"{adversary_name}/{workload}"
+
+    def test_unanimity_forces_the_common_value_under_every_adversary(self,
+                                                                     rng_seed):
+        n = 13
+        t = max_tolerable_t(n)
+        for name, factory in ADVERSARY_FACTORIES.items():
+            for value in (0, 1):
+                result = run_execution(ResetTolerantAgreement, n=n, t=t,
+                                       inputs=[value] * n,
+                                       adversary=factory(rng_seed),
+                                       max_windows=5000, seed=rng_seed)
+                assert result.decision_values == {value}, name
+
+    def test_lookahead_adversary_respects_safety(self, rng_seed):
+        n, t = 9, 1
+        result = run_execution(ResetTolerantAgreement, n=n, t=t,
+                               inputs=[pid % 2 for pid in range(n)],
+                               adversary=LookaheadAdversary(
+                                   horizon=1, samples=2, seed=rng_seed),
+                               max_windows=60, seed=rng_seed,
+                               stop_when="all")
+        assert result.agreement_ok
+        assert result.validity_ok
+
+
+class TestAdversarialSlowdownShape:
+    def test_split_vote_adversary_slows_decisions_down(self, rng_seed):
+        """The paper's Section 3 observation, in miniature.
+
+        Unanimous inputs decide in the first window regardless of the
+        schedule; with split inputs the vote-splitting adversary makes
+        decisions take substantially longer than a benign schedule does.
+        """
+        n = 24
+        t = max_tolerable_t(n)
+        inputs = [pid % 2 for pid in range(n)]
+        benign_windows = []
+        adversarial_windows = []
+        rng = random.Random(rng_seed)
+        for _ in range(3):
+            benign = run_execution(ResetTolerantAgreement, n=n, t=t,
+                                   inputs=inputs,
+                                   adversary=BenignAdversary(),
+                                   max_windows=100000,
+                                   seed=rng.getrandbits(32),
+                                   stop_when="first")
+            adversarial = run_execution(
+                ResetTolerantAgreement, n=n, t=t, inputs=inputs,
+                adversary=SplitVoteAdversary(seed=rng.getrandbits(32)),
+                max_windows=100000, seed=rng.getrandbits(32),
+                stop_when="first")
+            benign_windows.append(benign.first_decision_window
+                                  or benign.windows_elapsed)
+            adversarial_windows.append(adversarial.first_decision_window
+                                       or adversarial.windows_elapsed)
+        unanimous = run_execution(ResetTolerantAgreement, n=n, t=t,
+                                  inputs=[1] * n,
+                                  adversary=SplitVoteAdversary(seed=rng_seed),
+                                  max_windows=10, seed=rng_seed,
+                                  stop_when="first")
+        assert unanimous.first_decision_window == 1
+        mean_benign = sum(benign_windows) / len(benign_windows)
+        mean_adversarial = sum(adversarial_windows) / len(adversarial_windows)
+        assert mean_adversarial > mean_benign
+
+    def test_resets_do_not_rescue_the_adversary_from_lopsided_coins(self,
+                                                                    rng_seed):
+        """Termination still occurs with the full strongly adaptive power."""
+        n = 12
+        t = max_tolerable_t(n)
+        result = run_execution(ResetTolerantAgreement, n=n, t=t,
+                               inputs=[pid % 2 for pid in range(n)],
+                               adversary=AdaptiveResettingAdversary(
+                                   seed=rng_seed),
+                               max_windows=50000, seed=rng_seed,
+                               stop_when="all")
+        assert result.all_live_decided
+        assert result.total_resets > 0
+
+
+class TestBenOrCrashModel:
+    @pytest.mark.parametrize("adversary_factory", [
+        lambda: BenignAdversary(),
+        lambda: StaticCrashAdversary(crash_schedule={0: (0, 1, 2, 3)}),
+        lambda: CrashAtDecisionAdversary(),
+        lambda: RandomSchedulerAdversary(seed=3),
+    ])
+    def test_ben_or_invariants_under_crash_adversaries(self,
+                                                       adversary_factory,
+                                                       rng_seed):
+        n, t = 9, 4
+        result = run_execution(BenOrAgreement, n=n, t=t,
+                               inputs=[pid % 2 for pid in range(n)],
+                               adversary=adversary_factory(),
+                               max_windows=5000, seed=rng_seed,
+                               stop_when="all")
+        assert result.agreement_ok
+        assert result.validity_ok
+        assert result.all_live_decided
+
+    def test_message_chain_tracks_windows_in_lockstep_schedules(self,
+                                                                rng_seed):
+        result = run_execution(BenOrAgreement, n=9, t=4, inputs=[1] * 9,
+                               adversary=BenignAdversary(), max_windows=100,
+                               seed=rng_seed, stop_when="first")
+        assert result.message_chain_length is not None
+        assert result.message_chain_length <= result.windows_elapsed

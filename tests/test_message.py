@@ -1,0 +1,68 @@
+"""Unit tests for message primitives."""
+
+import pytest
+
+from repro.simulation.message import Message, broadcast
+
+
+class TestMessage:
+    def test_fields(self):
+        message = Message(sender=1, receiver=2, payload=("VOTE", 1, 0))
+        assert message.sender == 1
+        assert message.receiver == 2
+        assert message.payload == ("VOTE", 1, 0)
+        assert message.sequence == -1
+        assert message.chain_depth == 1
+
+    def test_with_sequence_returns_new_object(self):
+        message = Message(sender=0, receiver=1, payload="x")
+        stamped = message.with_sequence(7)
+        assert stamped.sequence == 7
+        assert message.sequence == -1
+        assert stamped is not message
+
+    def test_with_chain_depth(self):
+        message = Message(sender=0, receiver=1, payload="x")
+        deep = message.with_chain_depth(5)
+        assert deep.chain_depth == 5
+        assert message.chain_depth == 1
+
+    def test_corrupted_replaces_payload_only(self):
+        message = Message(sender=3, receiver=4, payload=("VOTE", 2, 1),
+                          sequence=9)
+        corrupted = message.corrupted(("VOTE", 2, 0))
+        assert corrupted.payload == ("VOTE", 2, 0)
+        assert corrupted.sender == 3
+        assert corrupted.receiver == 4
+        assert corrupted.sequence == 9
+
+    def test_key_ignores_bookkeeping(self):
+        a = Message(sender=1, receiver=2, payload="p", sequence=5,
+                    chain_depth=3)
+        b = Message(sender=1, receiver=2, payload="p", sequence=9,
+                    chain_depth=7)
+        assert a.key() == b.key()
+
+    def test_immutability(self):
+        message = Message(sender=0, receiver=1, payload="x")
+        with pytest.raises(Exception):
+            message.sender = 5  # type: ignore[misc]
+
+
+class TestBroadcast:
+    def test_broadcast_includes_self_by_default(self):
+        messages = broadcast(2, 5, payload="hello")
+        assert len(messages) == 5
+        assert {m.receiver for m in messages} == set(range(5))
+        assert all(m.sender == 2 for m in messages)
+        assert all(m.payload == "hello" for m in messages)
+
+    def test_broadcast_excluding_self(self):
+        messages = broadcast(2, 5, payload="hello", include_self=False)
+        assert len(messages) == 4
+        assert 2 not in {m.receiver for m in messages}
+
+    def test_broadcast_single_processor(self):
+        messages = broadcast(0, 1, payload=1)
+        assert len(messages) == 1
+        assert messages[0].receiver == 0

@@ -1,0 +1,127 @@
+"""Unit tests for the message buffer."""
+
+import pytest
+
+from repro.simulation.errors import InvalidStepError
+from repro.simulation.message import Message, broadcast
+from repro.simulation.network import Network
+
+
+@pytest.fixture
+def network():
+    return Network(4)
+
+
+class TestSubmit:
+    def test_submit_stamps_sequence_numbers(self, network):
+        stored = network.submit(broadcast(0, 4, "a"))
+        assert [m.sequence for m in stored] == [0, 1, 2, 3]
+        stored = network.submit(broadcast(1, 4, "b"))
+        assert [m.sequence for m in stored] == [4, 5, 6, 7]
+
+    def test_submit_stamps_chain_depth(self, network):
+        stored = network.submit(broadcast(0, 4, "a"), chain_depth=3)
+        assert all(m.chain_depth == 3 for m in stored)
+
+    def test_submit_rejects_unknown_receiver(self, network):
+        with pytest.raises(InvalidStepError):
+            network.submit([Message(sender=0, receiver=9, payload="x")])
+
+    def test_submit_rejects_unknown_sender(self, network):
+        with pytest.raises(InvalidStepError):
+            network.submit([Message(sender=9, receiver=0, payload="x")])
+
+    def test_sent_count(self, network):
+        network.submit(broadcast(0, 4, "a"))
+        network.submit(broadcast(1, 4, "b"))
+        assert network.sent_count == 8
+
+
+class TestPendingAndDelivery:
+    def test_pending_for_receiver(self, network):
+        network.submit(broadcast(0, 4, "a"))
+        network.submit(broadcast(1, 4, "b"))
+        pending = network.pending_for(2)
+        assert len(pending) == 2
+        assert {m.sender for m in pending} == {0, 1}
+
+    def test_pending_for_with_sender_filter(self, network):
+        network.submit(broadcast(0, 4, "a"))
+        network.submit(broadcast(1, 4, "b"))
+        pending = network.pending_for(2, senders={1})
+        assert len(pending) == 1
+        assert pending[0].sender == 1
+
+    def test_deliver_removes_message(self, network):
+        network.submit(broadcast(0, 4, "a"))
+        message = network.pending_for(3)[0]
+        delivered = network.deliver(message)
+        assert delivered.payload == "a"
+        assert network.pending_for(3) == []
+        assert network.delivered_count == 1
+
+    def test_deliver_unknown_message_raises(self, network):
+        phantom = Message(sender=0, receiver=1, payload="x", sequence=999)
+        with pytest.raises(InvalidStepError):
+            network.deliver(phantom)
+
+    def test_pending_count(self, network):
+        network.submit(broadcast(0, 4, "a"))
+        assert network.pending_count() == 4
+        network.deliver(network.pending_for(0)[0])
+        assert network.pending_count() == 3
+
+    def test_all_pending_in_send_order(self, network):
+        network.submit(broadcast(0, 4, "a"))
+        network.submit(broadcast(1, 4, "b"))
+        sequences = [m.sequence for m in network.all_pending()]
+        assert sequences == sorted(sequences)
+
+
+class TestWindowDeliveries:
+    def test_take_window_deliveries_only_allowed_senders(self, network):
+        network.submit(broadcast(0, 4, "a"))
+        network.submit(broadcast(1, 4, "b"))
+        network.submit(broadcast(2, 4, "c"))
+        deliveries = network.take_window_deliveries(3, senders={0, 2})
+        assert {m.sender for m in deliveries} == {0, 2}
+        # Messages from sender 1 stay in the buffer.
+        remaining = network.pending_for(3)
+        assert {m.sender for m in remaining} == {1}
+
+    def test_take_window_deliveries_newest_per_sender(self, network):
+        network.submit(broadcast(0, 4, "old"))
+        network.submit(broadcast(0, 4, "new"))
+        deliveries = network.take_window_deliveries(1, senders={0})
+        assert len(deliveries) == 1
+        assert deliveries[0].payload == "new"
+        # The stale message is still pending (it was superseded, not lost).
+        assert len(network.pending_for(1)) == 1
+        assert network.pending_for(1)[0].payload == "old"
+
+    def test_take_window_deliveries_empty_when_no_match(self, network):
+        deliveries = network.take_window_deliveries(0, senders={1, 2})
+        assert deliveries == []
+
+
+class TestDropAndPrune:
+    def test_drop_channel_by_sender(self, network):
+        network.submit(broadcast(0, 4, "a"))
+        network.submit(broadcast(1, 4, "b"))
+        dropped = network.drop_channel(sender=0)
+        assert dropped == 4
+        assert all(m.sender == 1 for m in network.all_pending())
+
+    def test_drop_channel_by_receiver(self, network):
+        network.submit(broadcast(0, 4, "a"))
+        dropped = network.drop_channel(receiver=2)
+        assert dropped == 1
+        assert all(m.receiver != 2 for m in network.all_pending())
+
+    def test_clear_stale_rounds(self, network):
+        network.submit([Message(0, 1, ("VOTE", 1, 0)),
+                        Message(2, 1, ("VOTE", 5, 1))])
+        dropped = network.clear_stale_rounds(
+            1, is_stale=lambda payload: payload[1] < 3)
+        assert dropped == 1
+        assert network.pending_for(1)[0].payload == ("VOTE", 5, 1)

@@ -1,0 +1,144 @@
+"""Unit tests for product measures and numerical Talagrand verification."""
+
+import random
+
+import pytest
+
+from repro.analysis.product_measure import (CoordinateDistribution,
+                                            ProductDistribution,
+                                            distance_to_set, hamming,
+                                            set_to_set_distance,
+                                            verify_talagrand,
+                                            verify_two_set_bound)
+
+
+class TestHammingHelpers:
+    def test_hamming(self):
+        assert hamming((0, 0, 1), (0, 1, 1)) == 1
+        assert hamming((0,), (0,)) == 0
+
+    def test_hamming_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming((0, 1), (0,))
+
+    def test_distance_to_set(self):
+        points = [(0, 0, 0), (1, 1, 1)]
+        assert distance_to_set((0, 0, 1), points) == 1
+        assert distance_to_set((0, 0, 0), points) == 0
+        assert distance_to_set((0, 0, 0), []) is None
+
+    def test_set_to_set_distance(self):
+        a = [(0, 0, 0, 0)]
+        b = [(1, 1, 0, 0), (1, 1, 1, 1)]
+        assert set_to_set_distance(a, b) == 2
+
+
+class TestCoordinateDistribution:
+    def test_normalisation(self):
+        dist = CoordinateDistribution({0: 2.0, 1: 2.0})
+        assert dist.probability(0) == pytest.approx(0.5)
+        assert dist.probability(2) == 0.0
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            CoordinateDistribution({})
+        with pytest.raises(ValueError):
+            CoordinateDistribution({0: -1.0, 1: 2.0})
+        with pytest.raises(ValueError):
+            CoordinateDistribution({0: 0.0})
+
+    def test_bernoulli_and_point_mass(self):
+        coin = CoordinateDistribution.bernoulli(0.25)
+        assert coin.probability(1) == pytest.approx(0.25)
+        point = CoordinateDistribution.point_mass("x")
+        assert point.probability("x") == 1.0
+        with pytest.raises(ValueError):
+            CoordinateDistribution.bernoulli(1.5)
+
+    def test_sampling_respects_support(self):
+        rng = random.Random(0)
+        dist = CoordinateDistribution.uniform(["a", "b", "c"])
+        draws = {dist.sample(rng) for _ in range(50)}
+        assert draws.issubset({"a", "b", "c"})
+        assert len(draws) > 1
+
+
+class TestProductDistribution:
+    def test_uniform_bits_support(self):
+        product = ProductDistribution.uniform_bits(3)
+        assert product.n == 3
+        assert product.support_size() == 8
+        total = sum(probability
+                    for _, probability in product.enumerate_support())
+        assert total == pytest.approx(1.0)
+
+    def test_weight_of_event(self):
+        product = ProductDistribution.uniform_bits(4)
+        weight = product.weight(lambda x: sum(x) == 2)
+        assert weight == pytest.approx(6 / 16)
+
+    def test_weight_of_points_and_ball(self):
+        product = ProductDistribution.uniform_bits(3)
+        points = [(0, 0, 0)]
+        assert product.weight_of_points(points) == pytest.approx(1 / 8)
+        assert product.ball_weight(points, 1) == pytest.approx(4 / 8)
+        assert product.ball_weight(points, 3) == pytest.approx(1.0)
+
+    def test_replace_coordinate(self):
+        product = ProductDistribution.uniform_bits(3)
+        replaced = product.replace_coordinate(
+            0, CoordinateDistribution.point_mass(1))
+        assert replaced.weight(lambda x: x[0] == 1) == pytest.approx(1.0)
+        # The original is unchanged.
+        assert product.weight(lambda x: x[0] == 1) == pytest.approx(0.5)
+
+    def test_estimate_weight_close_to_exact(self):
+        product = ProductDistribution.uniform_bits(6)
+        exact = product.weight(lambda x: sum(x) >= 4)
+        estimate = product.estimate_weight(lambda x: sum(x) >= 4,
+                                           samples=4000, seed=3)
+        assert estimate == pytest.approx(exact, abs=0.05)
+
+    def test_bernoulli_product(self):
+        product = ProductDistribution.bernoulli([1.0, 0.0, 1.0])
+        assert product.weight(lambda x: x == (1, 0, 1)) == pytest.approx(1.0)
+
+    def test_empty_construction_rejected(self):
+        with pytest.raises(ValueError):
+            ProductDistribution([])
+
+
+class TestTalagrandVerification:
+    def test_lemma_9_holds_exactly_on_small_cube(self):
+        product = ProductDistribution.uniform_bits(8)
+        points = [point for point, _ in product.enumerate_support()
+                  if sum(point) <= 1]
+        for radius in (1, 2, 3, 4):
+            check = verify_talagrand(product, points, radius=radius,
+                                     exact=True)
+            assert check.satisfied
+            assert check.product <= check.bound + 1e-9
+
+    def test_lemma_9_holds_under_sampling(self):
+        product = ProductDistribution.uniform_bits(10)
+        points = [tuple([0] * 10)]
+        check = verify_talagrand(product, points, radius=3, exact=False,
+                                 samples=2000, seed=1)
+        assert check.satisfied
+
+    def test_two_set_bound_consistent(self):
+        product = ProductDistribution.uniform_bits(8)
+        low = [point for point, _ in product.enumerate_support()
+               if sum(point) == 0]
+        high = [point for point, _ in product.enumerate_support()
+                if sum(point) == 8]
+        p_low, p_high, tau, consistent = verify_two_set_bound(product, low,
+                                                              high)
+        assert consistent
+        assert p_low == pytest.approx(1 / 256)
+        assert p_high == pytest.approx(1 / 256)
+
+    def test_two_set_bound_rejects_empty_sets(self):
+        product = ProductDistribution.uniform_bits(4)
+        with pytest.raises(ValueError):
+            verify_two_set_bound(product, [], [(0, 0, 0, 0)])

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.product_measure import (ProductDistribution, hamming,
+                                            verify_talagrand)
+from repro.analysis.statistics import fit_exponential, summarize_trials
+from repro.core.talagrand import (lower_bound_constants, talagrand_bound,
+                                  two_set_bound)
+from repro.core.thresholds import ThresholdConfig, default_thresholds
+from repro.simulation.configuration import Configuration
+from repro.simulation.message import broadcast
+from repro.simulation.network import Network
+from repro.simulation.windows import WindowSpec
+
+
+# ----------------------------------------------------------------------
+# Hamming distance is a metric on configurations.
+# ----------------------------------------------------------------------
+state_strategy = st.tuples(st.integers(0, 1),
+                           st.sampled_from([None, 0, 1]),
+                           st.integers(0, 3),
+                           st.integers(0, 5))
+
+
+def configurations(n):
+    return st.lists(state_strategy, min_size=n, max_size=n).map(
+        lambda states: Configuration(states=tuple(states)))
+
+
+@given(st.integers(2, 8).flatmap(
+    lambda n: st.tuples(configurations(n), configurations(n),
+                        configurations(n))))
+def test_hamming_distance_is_a_metric(triple):
+    a, b, c = triple
+    assert a.hamming_distance(b) == b.hamming_distance(a)
+    assert a.hamming_distance(a) == 0
+    assert 0 <= a.hamming_distance(b) <= a.n
+    # Triangle inequality.
+    assert a.hamming_distance(c) <= \
+        a.hamming_distance(b) + b.hamming_distance(c)
+    # Identity of indiscernibles.
+    if a.hamming_distance(b) == 0:
+        assert a.states == b.states
+
+
+# ----------------------------------------------------------------------
+# Threshold constraints: Theorem 4's default settings are always valid for
+# any admissible (n, t), and the constraint checker is consistent.
+# ----------------------------------------------------------------------
+@given(st.integers(7, 200))
+def test_default_thresholds_valid_whenever_t_positive(n):
+    t = (n - 1) // 6
+    if t <= 0:
+        return
+    config = default_thresholds(n, t)
+    assert config.valid
+    assert config.t1 >= config.t2 >= config.t3 + t
+    assert 2 * config.t3 > n
+
+
+@given(st.integers(6, 60), st.integers(1, 9), st.integers(1, 60),
+       st.integers(1, 60), st.integers(1, 60))
+def test_violations_and_valid_agree(n, t, t1, t2, t3):
+    if t >= n:
+        return
+    config = ThresholdConfig(n=n, t=t, t1=t1, t2=t2, t3=t3)
+    assert config.valid == (config.violations() == [])
+
+
+# ----------------------------------------------------------------------
+# Window specifications: the full-delivery window is always acceptable, and
+# validation accepts exactly the windows within the fault budget.
+# ----------------------------------------------------------------------
+@given(st.integers(2, 20), st.data())
+def test_uniform_windows_validate_iff_within_budget(n, data):
+    t = data.draw(st.integers(0, n - 1))
+    excluded_size = data.draw(st.integers(0, n - 1))
+    excluded = frozenset(range(excluded_size))
+    senders = frozenset(range(n)) - excluded
+    spec = WindowSpec.uniform(n, senders)
+    if excluded_size <= t:
+        spec.validate(n, t)
+    else:
+        try:
+            spec.validate(n, t)
+            assert False, "expected an InvalidWindowError"
+        except Exception:
+            pass
+    WindowSpec.full_delivery(n).validate(n, t)
+
+
+# ----------------------------------------------------------------------
+# Network conservation: messages are never created or destroyed by the
+# buffer — sent = delivered + pending (in the absence of explicit drops).
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                min_size=0, max_size=40),
+       st.integers(0, 1000))
+def test_network_conserves_messages(channel_pairs, seed):
+    n = 6
+    network = Network(n)
+    rng = random.Random(seed)
+    for sender, receiver in channel_pairs:
+        network.submit(broadcast(sender, n, payload=("m", sender, receiver)))
+    # Deliver a random subset of pending messages.
+    pending = network.all_pending()
+    rng.shuffle(pending)
+    for message in pending[:len(pending) // 2]:
+        network.deliver(message)
+    assert network.sent_count == \
+        network.delivered_count + network.pending_count()
+
+
+# ----------------------------------------------------------------------
+# Talagrand's inequality holds for every sub-level set of the uniform cube.
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(2, 9), st.data())
+def test_talagrand_inequality_on_sublevel_sets(n, data):
+    k = data.draw(st.integers(0, n))
+    d = data.draw(st.integers(0, n))
+    distribution = ProductDistribution.uniform_bits(n)
+    points = [point for point, _ in distribution.enumerate_support()
+              if sum(point) <= k]
+    check = verify_talagrand(distribution, points, radius=d, exact=True)
+    assert check.satisfied
+
+
+@given(st.integers(1, 400), st.integers(0, 400))
+def test_talagrand_bound_bounds_and_monotonicity(n, d):
+    bound = talagrand_bound(d, n)
+    # The bound is a probability (it may underflow to 0.0 for huge d/n).
+    assert 0.0 <= bound <= 1.0
+    assert two_set_bound(d, n) >= bound
+    if d >= 1:
+        assert talagrand_bound(d - 1, n) >= bound
+
+
+# ----------------------------------------------------------------------
+# Theorem 5 constants: for every fault fraction the adversary's success
+# probability stays at least one half on every system size.
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(st.floats(0.01, 0.45), st.integers(1, 2000))
+def test_lower_bound_success_probability_at_least_half(c, n):
+    constants = lower_bound_constants(c)
+    assert constants.success_probability(n) >= 0.5 - 1e-9
+    assert constants.alpha == (c * c) / 9.0
+
+
+# ----------------------------------------------------------------------
+# Statistics helpers.
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=50))
+def test_summary_bounds_contain_mean_and_median(values):
+    summary = summarize_trials(values)
+    tolerance = 1e-9 * max(abs(summary.minimum), abs(summary.maximum), 1.0)
+    assert summary.minimum <= summary.median <= summary.maximum
+    assert summary.minimum - tolerance <= summary.mean \
+        <= summary.maximum + tolerance
+    assert summary.count == len(values)
+
+
+@given(st.floats(0.05, 5.0), st.floats(-0.3, 0.5),
+       st.lists(st.integers(1, 60), min_size=3, max_size=10, unique=True))
+def test_exponential_fit_recovers_exact_data(a, b, xs):
+    xs = sorted(xs)
+    ys = [a * math.exp(b * x) for x in xs]
+    if any(y <= 0 or not math.isfinite(y) for y in ys):
+        return
+    fit = fit_exponential(xs, ys)
+    assert math.isclose(fit.a, a, rel_tol=1e-4, abs_tol=1e-6)
+    assert math.isclose(fit.b, b, rel_tol=1e-4, abs_tol=1e-6)

@@ -1,0 +1,36 @@
+"""Unit tests for the protocol registry."""
+
+import pytest
+
+from repro.core.reset_tolerant import ResetTolerantAgreement
+from repro.protocols.ben_or import BenOrAgreement
+from repro.protocols.bracha import BrachaAgreement
+from repro.protocols.registry import available_protocols, get_protocol
+
+
+class TestRegistry:
+    def test_known_protocols_present(self):
+        protocols = available_protocols()
+        assert set(protocols) == {"reset-tolerant", "ben-or", "bracha"}
+
+    def test_get_protocol_returns_classes(self):
+        assert get_protocol("reset-tolerant").protocol_cls \
+            is ResetTolerantAgreement
+        assert get_protocol("ben-or").protocol_cls is BenOrAgreement
+        assert get_protocol("bracha").protocol_cls is BrachaAgreement
+
+    def test_unknown_protocol_raises_with_suggestions(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_protocol("paxos")
+        assert "ben-or" in str(excinfo.value)
+
+    def test_max_faults_respect_resilience_bounds(self):
+        for n in (7, 13, 25, 61):
+            assert get_protocol("reset-tolerant").max_faults(n) < n / 6
+            assert get_protocol("ben-or").max_faults(n) < n / 2
+            assert get_protocol("bracha").max_faults(n) < n / 3
+
+    def test_fault_models_are_descriptive(self):
+        for info in available_protocols().values():
+            assert info.fault_model
+            assert info.name

@@ -1,0 +1,92 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import (empirical_probability,
+                                       fit_exponential, format_table,
+                                       geometric_mean, summarize_trials)
+
+
+class TestSummaries:
+    def test_summary_of_constant_batch(self):
+        summary = summarize_trials([5.0, 5.0, 5.0])
+        assert summary.mean == 5.0
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_summary_fields(self):
+        summary = summarize_trials([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trials([])
+
+    def test_single_trial(self):
+        summary = summarize_trials([7.0])
+        assert summary.mean == 7.0
+        assert summary.std == 0.0
+
+
+class TestExponentialFit:
+    def test_recovers_known_parameters(self):
+        a, b = 2.0, 0.3
+        xs = list(range(5, 30, 5))
+        ys = [a * math.exp(b * x) for x in xs]
+        fit = fit_exponential(xs, ys)
+        assert fit.a == pytest.approx(a, rel=1e-6)
+        assert fit.b == pytest.approx(b, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_doubling_x(self):
+        fit = fit_exponential([0, 1, 2], [1.0, 2.0, 4.0])
+        assert fit.doubling_x == pytest.approx(1.0)
+
+    def test_flat_fit_has_infinite_doubling(self):
+        fit = fit_exponential([0, 1, 2], [3.0, 3.0, 3.0])
+        assert fit.doubling_x == math.inf
+
+    def test_predict(self):
+        fit = fit_exponential([0, 1, 2], [1.0, math.e, math.e ** 2])
+        assert fit.predict(3) == pytest.approx(math.e ** 3, rel=1e-6)
+
+    def test_requires_two_positive_points(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1, 2], [0.0, -1.0])
+
+
+class TestOtherHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empirical_probability_interval_contains_estimate(self):
+        p_hat, low, high = empirical_probability(30, 100)
+        assert low <= p_hat <= high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_empirical_probability_validates_arguments(self):
+        with pytest.raises(ValueError):
+            empirical_probability(5, 0)
+        with pytest.raises(ValueError):
+            empirical_probability(11, 10)
+
+    def test_format_table_renders_all_rows_and_columns(self):
+        rows = [{"n": 8, "windows": 12.5}, {"n": 16, "windows": None}]
+        text = format_table(rows)
+        assert "n" in text and "windows" in text
+        assert "12.5" in text
+        assert "-" in text  # the None cell
+        assert text.count("\n") >= 3
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,91 @@
+"""Unit tests for the Talagrand toolkit and Theorem 5 constants."""
+
+import math
+
+import pytest
+
+from repro.core.talagrand import (LowerBoundConstants, equation_3_satisfied,
+                                  interpolation_threshold,
+                                  lower_bound_constants, lower_bound_curve,
+                                  predicted_lower_bound,
+                                  separation_threshold, talagrand_bound,
+                                  talagrand_violated, two_set_bound)
+
+
+class TestTalagrandBound:
+    def test_formula(self):
+        assert talagrand_bound(0, 10) == pytest.approx(1.0)
+        assert talagrand_bound(4, 4) == pytest.approx(math.exp(-1.0))
+
+    def test_monotone_in_distance(self):
+        values = [talagrand_bound(d, 20) for d in range(0, 21, 5)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            talagrand_bound(1, 0)
+        with pytest.raises(ValueError):
+            talagrand_bound(-1, 5)
+
+    def test_violation_check(self):
+        # Impossible probabilities would flag a violation...
+        assert talagrand_violated(0.9, 0.1, 10, 10)
+        # ... while consistent ones do not.
+        assert not talagrand_violated(0.1, 0.99, 10, 10)
+
+    def test_two_set_bound_is_sqrt_of_talagrand_bound(self):
+        assert two_set_bound(6, 12) == pytest.approx(
+            math.sqrt(talagrand_bound(6, 12)))
+
+    def test_thresholds_match_lemma_definitions(self):
+        n, t = 100, 16
+        assert separation_threshold(n, t) == pytest.approx(
+            math.exp(-(t ** 2) / (8 * n)))
+        assert interpolation_threshold(n, t) == pytest.approx(
+            math.exp(-((t - 1) ** 2) / (8 * n)))
+
+
+class TestLowerBoundConstants:
+    def test_alpha_is_c_squared_over_nine(self):
+        constants = lower_bound_constants(1.0 / 6.0)
+        assert constants.alpha == pytest.approx((1.0 / 6.0) ** 2 / 9.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            lower_bound_constants(0.0)
+        with pytest.raises(ValueError):
+            lower_bound_constants(1.0)
+
+    def test_equation_3_holds(self):
+        for c in (0.05, 0.1, 1.0 / 6.0, 0.3):
+            constants = lower_bound_constants(c)
+            assert equation_3_satisfied(constants)
+
+    def test_predicted_windows_grow_exponentially(self):
+        constants = lower_bound_constants(0.2)
+        small = constants.predicted_windows(50)
+        large = constants.predicted_windows(100)
+        assert large == pytest.approx(
+            small * math.exp(constants.alpha * 50))
+        assert large > small
+
+    def test_success_probability_at_least_one_half(self):
+        for c in (0.05, 0.1, 1.0 / 6.0, 0.25):
+            constants = lower_bound_constants(c)
+            for n in (10, 50, 100, 500, 1000):
+                assert constants.success_probability(n) >= 0.5
+
+    def test_larger_fault_fraction_gives_larger_exponent(self):
+        weak = lower_bound_constants(0.05)
+        strong = lower_bound_constants(0.3)
+        assert strong.alpha > weak.alpha
+
+    def test_curve_and_point_helpers_agree(self):
+        ns = [20, 40, 60]
+        curve = lower_bound_curve(ns, 0.1)
+        assert curve == pytest.approx(
+            [predicted_lower_bound(n, 0.1) for n in ns])
+
+    def test_failure_term_shrinks_with_n(self):
+        constants = lower_bound_constants(0.2)
+        assert constants.failure_term(200) < constants.failure_term(50)

@@ -1,0 +1,87 @@
+"""Unit tests for the Theorem 4 threshold configuration."""
+
+import pytest
+
+from repro.core.thresholds import (ThresholdConfig, ThresholdError,
+                                   default_thresholds,
+                                   fast_decide_thresholds, max_tolerable_t,
+                                   threshold_grid)
+
+
+class TestDefaultThresholds:
+    def test_matches_theorem_4_settings(self):
+        config = default_thresholds(24, 3)
+        assert (config.t1, config.t2, config.t3) == (18, 18, 15)
+        assert config.valid
+
+    def test_invalid_for_t_at_least_n_over_6(self):
+        with pytest.raises(ThresholdError):
+            default_thresholds(24, 4)
+
+    @pytest.mark.parametrize("n", [7, 13, 19, 25, 31, 43, 61])
+    def test_default_valid_whenever_t_positive(self, n):
+        t = max_tolerable_t(n)
+        if t == 0:
+            pytest.skip("no positive t admissible at this n")
+        config = default_thresholds(n, t)
+        assert config.valid
+
+
+class TestConstraintChecks:
+    def test_violation_messages_enumerate_broken_constraints(self):
+        config = ThresholdConfig(n=24, t=3, t1=23, t2=23, t3=20)
+        problems = config.violations()
+        assert any("n - 2t >= T1" in problem for problem in problems)
+
+    def test_2t3_greater_than_n_required(self):
+        config = ThresholdConfig(n=24, t=3, t1=18, t2=18, t3=12)
+        assert not config.valid
+        assert any("2*T3 > n" in problem for problem in config.violations())
+
+    def test_t2_at_least_t3_plus_t_required(self):
+        config = ThresholdConfig(n=24, t=3, t1=18, t2=15, t3=15)
+        assert not config.valid
+        assert any("T2 >= T3 + t" in problem
+                   for problem in config.violations())
+
+    def test_require_valid_raises_with_reason(self):
+        config = ThresholdConfig(n=24, t=3, t1=18, t2=18, t3=12)
+        with pytest.raises(ThresholdError):
+            config.require_valid()
+
+    def test_require_valid_returns_self_when_valid(self):
+        config = default_thresholds(30, 4)
+        assert config.require_valid() is config
+
+    def test_describe_mentions_all_thresholds(self):
+        text = default_thresholds(24, 3).describe()
+        assert "T1=18" in text and "T2=18" in text and "T3=15" in text
+
+
+class TestVariants:
+    def test_fast_decide_thresholds_valid_and_smaller_t2(self):
+        default = default_thresholds(36, 2)
+        fast = fast_decide_thresholds(36, 2)
+        assert fast.valid
+        assert fast.t2 < default.t2
+        assert fast.t2 == fast.t3 + fast.t
+
+    def test_max_tolerable_t_below_n_over_6(self):
+        for n in (12, 24, 36, 60, 100):
+            t = max_tolerable_t(n)
+            assert t < n / 6
+            if t > 0:
+                assert default_thresholds(n, t).valid
+
+    def test_max_tolerable_t_zero_for_tiny_n(self):
+        assert max_tolerable_t(6) == 0
+
+    def test_threshold_grid_contains_valid_and_invalid_points(self):
+        grid = threshold_grid(24, 3)
+        assert any(config.valid for config in grid)
+        assert any(not config.valid for config in grid)
+        assert all(config.n == 24 and config.t == 3 for config in grid)
+
+    def test_decision_margin_positive_for_valid_configs(self):
+        config = default_thresholds(24, 3)
+        assert config.decision_margin > 0

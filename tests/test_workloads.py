@@ -1,0 +1,51 @@
+"""Unit tests for input workloads."""
+
+import pytest
+
+from repro.workloads.inputs import (alternating, ones_prefix, random_inputs,
+                                    split, standard_workloads, unanimous)
+
+
+class TestWorkloads:
+    def test_unanimous(self):
+        assert unanimous(5, 1) == [1] * 5
+        assert unanimous(3, 0) == [0] * 3
+        with pytest.raises(ValueError):
+            unanimous(4, 2)
+
+    def test_split_is_balanced(self):
+        inputs = split(10)
+        assert sum(inputs) == 5
+        inputs = split(11)
+        assert sum(inputs) == 5
+        assert len(inputs) == 11
+
+    def test_alternating(self):
+        assert alternating(4) == [0, 1, 0, 1]
+
+    def test_random_inputs_are_bits_and_reproducible(self):
+        a = random_inputs(20, seed=4)
+        b = random_inputs(20, seed=4)
+        assert a == b
+        assert set(a).issubset({0, 1})
+        with pytest.raises(ValueError):
+            random_inputs(5, probability_one=2.0)
+
+    def test_random_inputs_bias(self):
+        assert random_inputs(50, seed=1, probability_one=1.0) == [1] * 50
+        assert random_inputs(50, seed=1, probability_one=0.0) == [0] * 50
+
+    def test_ones_prefix(self):
+        assert ones_prefix(5, 2) == [1, 1, 0, 0, 0]
+        assert ones_prefix(3, 0) == [0, 0, 0]
+        assert ones_prefix(3, 3) == [1, 1, 1]
+        with pytest.raises(ValueError):
+            ones_prefix(3, 4)
+
+    def test_standard_workloads_cover_the_e1_grid(self):
+        workloads = standard_workloads(12, seed=9)
+        assert set(workloads) == {"unanimous-0", "unanimous-1", "split",
+                                  "alternating", "random"}
+        assert all(len(inputs) == 12 for inputs in workloads.values())
+        assert all(set(inputs).issubset({0, 1})
+                   for inputs in workloads.values())
