@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Record a benchmark-trajectory point and gate on regressions.
+
+Runs the ``benchmarks/`` suite under pytest-benchmark with a JSON report,
+distills the report into a compact ``BENCH_<n>.json`` file at the repo
+root (the performance trajectory), and compares against the previous
+``BENCH_*.json``: any benchmark whose mean grew by more than the allowed
+regression factor (default 20%) fails the run with a non-zero exit code.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_record.py [options] [pytest-args...]
+
+Options:
+    --index N          index for BENCH_<N>.json (default: previous + 1)
+    --threshold PCT    allowed mean regression percentage (default: 20)
+    --dry-run          run + compare but do not write the trajectory file
+    pytest-args        forwarded to pytest (e.g. a benchmark file subset;
+                       default: the whole benchmarks/ directory)
+
+See PERFORMANCE.md for how this fits the baseline workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATTERN = os.path.join(REPO_ROOT, "BENCH_*.json")
+
+
+def find_previous() -> tuple:
+    """(index, path) of the highest-numbered BENCH_<n>.json, or (None, None)."""
+    best_index, best_path = None, None
+    for path in glob.glob(BENCH_PATTERN):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if match:
+            index = int(match.group(1))
+            if best_index is None or index > best_index:
+                best_index, best_path = index, path
+    return best_index, best_path
+
+
+def run_benchmarks(pytest_args: list) -> dict:
+    """Run pytest-benchmark and return the parsed JSON report."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        report_path = handle.name
+    try:
+        command = [
+            sys.executable, "-m", "pytest",
+            *(pytest_args or [os.path.join(REPO_ROOT, "benchmarks")]),
+            "-q", "-p", "no:cacheprovider",
+            f"--benchmark-json={report_path}",
+        ]
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            print(f"benchmark run failed (pytest exit "
+                  f"{completed.returncode})", file=sys.stderr)
+            sys.exit(completed.returncode)
+        with open(report_path) as report:
+            return json.load(report)
+    finally:
+        os.unlink(report_path)
+
+
+def distill(report: dict) -> dict:
+    """Reduce a pytest-benchmark report to {benchmark name: stats}."""
+    benchmarks = {}
+    for bench in report.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks[bench["fullname"]] = {
+            "mean_seconds": stats.get("mean"),
+            "stddev_seconds": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+        }
+    return benchmarks
+
+
+def compare(previous: dict, current: dict, threshold_pct: float) -> list:
+    """Names of benchmarks whose mean regressed beyond the threshold."""
+    regressions = []
+    factor = 1.0 + threshold_pct / 100.0
+    for name, stats in current.items():
+        old = previous.get(name)
+        if not old:
+            continue
+        old_mean = old.get("mean_seconds")
+        new_mean = stats.get("mean_seconds")
+        if old_mean and new_mean and new_mean > old_mean * factor:
+            regressions.append(
+                f"{name}: {old_mean:.4f}s -> {new_mean:.4f}s "
+                f"(+{(new_mean / old_mean - 1) * 100:.1f}%)")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        usage="%(prog)s [--index N] [--threshold PCT] [--dry-run] "
+              "[pytest-args...]")
+    parser.add_argument("--index", type=int, default=None)
+    parser.add_argument("--threshold", type=float, default=20.0)
+    parser.add_argument("--dry-run", action="store_true")
+    args, pytest_args = parser.parse_known_args()
+
+    previous_index, previous_path = find_previous()
+    report = run_benchmarks(pytest_args)
+    benchmarks = distill(report)
+    if not benchmarks:
+        print("no benchmarks were collected", file=sys.stderr)
+        return 2
+
+    regressions = []
+    if previous_path:
+        with open(previous_path) as handle:
+            previous = json.load(handle)
+        regressions = compare(previous.get("benchmarks", {}), benchmarks,
+                              args.threshold)
+
+    index = args.index
+    if index is None:
+        index = 1 if previous_index is None else previous_index + 1
+    record = {
+        "index": index,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "pytest_args": pytest_args,
+        "machine": report.get("machine_info", {}).get("cpu", {}).get(
+            "brand_raw") or report.get("machine_info", {}).get("machine"),
+        "benchmarks": benchmarks,
+    }
+    out_path = os.path.join(REPO_ROOT, f"BENCH_{index}.json")
+    if args.dry_run:
+        print(f"[dry-run] would write {out_path}")
+    else:
+        with open(out_path, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
+
+    if regressions:
+        print(f"\nREGRESSION versus {os.path.basename(previous_path)} "
+              f"(>{args.threshold:.0f}% slower):", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    if previous_path:
+        print(f"no regressions versus {os.path.basename(previous_path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

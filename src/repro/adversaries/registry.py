@@ -1,0 +1,99 @@
+"""A registry mapping adversary (and Byzantine strategy) names to classes.
+
+The parallel experiment runner ships trial descriptions to worker processes
+as picklable :class:`~repro.runner.spec.TrialSpec` objects; adversaries are
+full-information objects bound to a live engine, so specs cannot carry
+instances.  Instead they carry a registry name plus a dict of constructor
+keyword arguments, and workers rebuild the adversary locally.  This module
+centralises that name->class mapping, mirroring the protocol registry in
+:mod:`repro.protocols.registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Type
+
+from repro.adversaries.benign import (BenignAdversary,
+                                      RandomSchedulerAdversary,
+                                      SilencingAdversary)
+from repro.adversaries.byzantine import (ByzantineAdversary,
+                                         ByzantineStrategy,
+                                         EquivocateStrategy,
+                                         FlipValueStrategy,
+                                         RandomValueStrategy, SilentStrategy)
+from repro.adversaries.crash import (CrashAtDecisionAdversary,
+                                     CrashSplitVoteAdversary,
+                                     StaticCrashAdversary)
+from repro.adversaries.polarizing import PolarizingAdversary
+from repro.adversaries.split_vote import (AdaptiveResettingAdversary,
+                                          SplitVoteAdversary)
+
+ADVERSARIES: Dict[str, Type] = {
+    "benign": BenignAdversary,
+    "random-scheduler": RandomSchedulerAdversary,
+    "silencing": SilencingAdversary,
+    "split-vote": SplitVoteAdversary,
+    "adaptive-resetting": AdaptiveResettingAdversary,
+    "polarizing": PolarizingAdversary,
+    "static-crash": StaticCrashAdversary,
+    "crash-at-decision": CrashAtDecisionAdversary,
+    "crash-split-vote": CrashSplitVoteAdversary,
+    "byzantine": ByzantineAdversary,
+}
+"""Window- and step-adversary classes, keyed by registry name."""
+
+STRATEGIES: Dict[str, Type[ByzantineStrategy]] = {
+    "silent": SilentStrategy,
+    "flip": FlipValueStrategy,
+    "equivocate": EquivocateStrategy,
+    "random-values": RandomValueStrategy,
+}
+"""Byzantine corruption strategies, keyed by registry name."""
+
+
+def build_adversary(name: str, **kwargs: Any):
+    """Instantiate a registered adversary from its name and kwargs.
+
+    For the ``"byzantine"`` adversary, a ``strategy`` keyword given as a
+    string is resolved through :data:`STRATEGIES` first, so that trial
+    specs stay plain-data picklable.
+
+    Raises:
+        KeyError: with the list of known names, when the name is unknown.
+    """
+    try:
+        adversary_cls = ADVERSARIES[name]
+    except KeyError:
+        known = ", ".join(sorted(ADVERSARIES))
+        raise KeyError(
+            f"unknown adversary {name!r}; known adversaries: {known}")
+    strategy = kwargs.get("strategy")
+    if isinstance(strategy, str):
+        kwargs = dict(kwargs)
+        kwargs["strategy"] = build_strategy(strategy)
+    return adversary_cls(**kwargs)
+
+
+def build_strategy(name: str) -> ByzantineStrategy:
+    """Instantiate a registered Byzantine strategy from its name."""
+    try:
+        strategy_cls = STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise KeyError(
+            f"unknown Byzantine strategy {name!r}; known strategies: {known}")
+    return strategy_cls()
+
+
+def available_adversaries() -> Dict[str, Type]:
+    """All registered adversaries, keyed by name."""
+    return dict(ADVERSARIES)
+
+
+__all__ = [
+    "ADVERSARIES",
+    "STRATEGIES",
+    "build_adversary",
+    "build_strategy",
+    "available_adversaries",
+]

@@ -5,52 +5,69 @@ benchmark harness wraps these functions with pytest-benchmark; the examples
 print them with :func:`repro.analysis.statistics.format_table`.  Trial
 counts and system sizes are parameters so that quick smoke runs and full
 reproductions use the same code path.
+
+The Monte Carlo experiments (E1, E2, E4, E6, E7) describe every trial as a
+picklable :class:`~repro.runner.spec.TrialSpec` and hand the whole batch to
+:mod:`repro.runner`, which fans trials out across worker processes (control
+the worker count with the ``workers`` argument or ``$REPRO_WORKERS``;
+``workers=0`` forces the serial in-process path).  Per-trial seeds are drawn
+from the master-seeded stream in the same order the original serial loops
+drew them, so rows are bit-identical across worker counts — and to the
+pre-runner versions of these functions at the same master seed.
 """
 
 from __future__ import annotations
 
-import math
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.adversaries.benign import (BenignAdversary,
-                                      RandomSchedulerAdversary,
-                                      SilencingAdversary)
-from repro.adversaries.byzantine import (ByzantineAdversary,
-                                         EquivocateStrategy,
-                                         FlipValueStrategy,
-                                         RandomValueStrategy, SilentStrategy)
-from repro.adversaries.crash import (CrashAtDecisionAdversary,
-                                     CrashSplitVoteAdversary,
-                                     StaticCrashAdversary)
-from repro.adversaries.polarizing import PolarizingAdversary
-from repro.adversaries.split_vote import (AdaptiveResettingAdversary,
-                                          SplitVoteAdversary)
 from repro.core.analysis import split_vote_analysis
 from repro.core.lower_bound import lower_bound_report
 from repro.core.reset_tolerant import ResetTolerantAgreement
 from repro.core.talagrand import lower_bound_constants
-from repro.core.thresholds import (ThresholdConfig, default_thresholds,
-                                   max_tolerable_t, threshold_grid)
+from repro.core.thresholds import (default_thresholds, max_tolerable_t,
+                                   threshold_grid)
 from repro.analysis.product_measure import (ProductDistribution,
                                             verify_talagrand)
 from repro.analysis.statistics import (fit_exponential, summarize_trials)
-from repro.protocols.base import ProtocolFactory
 from repro.protocols.ben_or import BenOrAgreement
-from repro.protocols.bracha import BrachaAgreement
 from repro.protocols.committee import CommitteeElectionProtocol, failure_rate
-from repro.simulation.engine import StepEngine
-from repro.simulation.windows import WindowEngine, run_execution
+from repro.runner import (TrialSpec, correctness_flags, group_by_tag,
+                          measure, message_chain_length, run_trials,
+                          windows_to_first_decision)
 from repro.workloads.inputs import split, standard_workloads, unanimous
 
 
 # ----------------------------------------------------------------------
 # E1: Theorem 4 feasibility — correctness and termination sweep.
 # ----------------------------------------------------------------------
+def _seeded_kwargs(rng: random.Random, extra: Optional[Dict] = None) -> Dict:
+    """Adversary kwargs with a freshly drawn 32-bit seed."""
+    kwargs: Dict[str, Any] = {"seed": rng.getrandbits(32)}
+    if extra:
+        kwargs.update(extra)
+    return kwargs
+
+
+# The strongly adaptive adversary battery of E1: display name ->
+# (registry name, kwargs builder).  Builders draw from the experiment's
+# master-seeded stream exactly when a trial is described, preserving the
+# historical draw order.
+_E1_ADVERSARIES: Tuple[Tuple[str, str, Any], ...] = (
+    ("benign", "benign", None),
+    ("random", "random-scheduler",
+     lambda rng: _seeded_kwargs(rng, {"reset_probability": 0.5})),
+    ("silencing", "silencing", None),
+    ("split-vote", "split-vote", _seeded_kwargs),
+    ("adaptive-resetting", "adaptive-resetting", _seeded_kwargs),
+)
+
+
 def run_feasibility_experiment(ns: Sequence[int] = (12, 18, 24),
                                trials: int = 3,
                                max_windows: int = 60000,
-                               seed: int = 0) -> List[Dict]:
+                               seed: int = 0,
+                               workers: Optional[int] = None) -> List[Dict]:
     """Correctness/termination of the reset-tolerant algorithm (E1).
 
     For every ``n`` (with ``t`` the largest value admitted by Theorem 4),
@@ -59,48 +76,43 @@ def run_feasibility_experiment(ns: Sequence[int] = (12, 18, 24),
     termination held.
     """
     rng = random.Random(seed)
-    rows: List[Dict] = []
+    specs: List[TrialSpec] = []
+    cells: List[Dict] = []
     for n in ns:
         t = max_tolerable_t(n)
-        adversaries = {
-            "benign": lambda: BenignAdversary(),
-            "random": lambda: RandomSchedulerAdversary(
-                seed=rng.getrandbits(32), reset_probability=0.5),
-            "silencing": lambda: SilencingAdversary(),
-            "split-vote": lambda: SplitVoteAdversary(
-                seed=rng.getrandbits(32)),
-            "adaptive-resetting": lambda: AdaptiveResettingAdversary(
-                seed=rng.getrandbits(32)),
-        }
         for workload_name, inputs in standard_workloads(
                 n, seed=rng.getrandbits(32)).items():
-            for adversary_name, adversary_factory in adversaries.items():
-                agreement_ok = True
-                validity_ok = True
-                terminated = True
-                windows_used: List[int] = []
+            for display_name, adversary, kwargs_builder in _E1_ADVERSARIES:
+                tag = ("E1", n, workload_name, display_name)
                 for _ in range(trials):
-                    result = run_execution(
-                        ResetTolerantAgreement, n=n, t=t, inputs=inputs,
-                        adversary=adversary_factory(),
-                        max_windows=max_windows,
-                        seed=rng.getrandbits(32), stop_when="all")
-                    agreement_ok &= result.agreement_ok
-                    validity_ok &= result.validity_ok
-                    terminated &= result.all_live_decided
-                    windows_used.append(result.windows_elapsed)
-                rows.append({
-                    "experiment": "E1",
-                    "n": n,
-                    "t": t,
-                    "workload": workload_name,
-                    "adversary": adversary_name,
-                    "agreement_ok": agreement_ok,
-                    "validity_ok": validity_ok,
-                    "terminated": terminated,
-                    "mean_windows": sum(windows_used) / len(windows_used),
-                    "max_windows_observed": max(windows_used),
-                })
+                    specs.append(TrialSpec(
+                        protocol="reset-tolerant", adversary=adversary,
+                        n=n, t=t, inputs=tuple(inputs),
+                        adversary_kwargs=(kwargs_builder(rng)
+                                          if kwargs_builder else {}),
+                        seed=rng.getrandbits(32), max_windows=max_windows,
+                        stop_when="all", tag=tag))
+                cells.append({"tag": tag, "n": n, "t": t,
+                              "workload": workload_name,
+                              "adversary": display_name})
+    grouped = group_by_tag(specs, run_trials(specs, workers=workers))
+    rows: List[Dict] = []
+    for cell in cells:
+        results = grouped[cell["tag"]]
+        agreement_ok, validity_ok, terminated = correctness_flags(results)
+        windows_used = [result.windows_elapsed for result in results]
+        rows.append({
+            "experiment": "E1",
+            "n": cell["n"],
+            "t": cell["t"],
+            "workload": cell["workload"],
+            "adversary": cell["adversary"],
+            "agreement_ok": agreement_ok,
+            "validity_ok": validity_ok,
+            "terminated": terminated,
+            "mean_windows": sum(windows_used) / len(windows_used),
+            "max_windows_observed": max(windows_used),
+        })
     return rows
 
 
@@ -111,7 +123,9 @@ def run_exponential_rounds_experiment(ns: Sequence[int] = (12, 16, 20, 24),
                                       trials: int = 5,
                                       max_windows: int = 200000,
                                       use_resets: bool = True,
-                                      seed: int = 0) -> List[Dict]:
+                                      seed: int = 0,
+                                      workers: Optional[int] = None
+                                      ) -> List[Dict]:
     """Windows until first decision under the blocking adversary (E2).
 
     Also reports the analytic prediction of
@@ -119,9 +133,9 @@ def run_exponential_rounds_experiment(ns: Sequence[int] = (12, 16, 20, 24),
     synthetic row, the exponential fit of measured means against ``n``.
     """
     rng = random.Random(seed)
-    rows: List[Dict] = []
-    means: List[float] = []
-    used_ns: List[int] = []
+    adversary = "adaptive-resetting" if use_resets else "split-vote"
+    specs: List[TrialSpec] = []
+    cells: List[Dict] = []
     for n in ns:
         t = max_tolerable_t(n)
         if t == 0:
@@ -129,39 +143,44 @@ def run_exponential_rounds_experiment(ns: Sequence[int] = (12, 16, 20, 24),
         thresholds = default_thresholds(n, t)
         analytic = split_vote_analysis(thresholds)
         inputs = split(n)
-        windows: List[float] = []
-        unanimous_windows: List[float] = []
         for _ in range(trials):
-            adversary = (AdaptiveResettingAdversary(seed=rng.getrandbits(32))
-                         if use_resets
-                         else SplitVoteAdversary(seed=rng.getrandbits(32)))
-            result = run_execution(
-                ResetTolerantAgreement, n=n, t=t, inputs=inputs,
-                adversary=adversary, max_windows=max_windows,
-                seed=rng.getrandbits(32), stop_when="first")
-            windows.append(result.first_decision_window
-                           or result.windows_elapsed)
-            unanimous_result = run_execution(
-                ResetTolerantAgreement, n=n, t=t, inputs=unanimous(n, 1),
-                adversary=SplitVoteAdversary(seed=rng.getrandbits(32)),
-                max_windows=max_windows, seed=rng.getrandbits(32),
-                stop_when="first")
-            unanimous_windows.append(
-                unanimous_result.first_decision_window
-                or unanimous_result.windows_elapsed)
+            specs.append(TrialSpec(
+                protocol="reset-tolerant", adversary=adversary,
+                n=n, t=t, inputs=tuple(inputs),
+                adversary_kwargs=_seeded_kwargs(rng),
+                seed=rng.getrandbits(32), max_windows=max_windows,
+                stop_when="first", tag=("E2", n, "split")))
+            specs.append(TrialSpec(
+                protocol="reset-tolerant", adversary="split-vote",
+                n=n, t=t, inputs=tuple(unanimous(n, 1)),
+                adversary_kwargs=_seeded_kwargs(rng),
+                seed=rng.getrandbits(32), max_windows=max_windows,
+                stop_when="first", tag=("E2", n, "unanimous")))
+        cells.append({"n": n, "t": t,
+                      "analytic_windows": analytic.expected_windows})
+    grouped = group_by_tag(specs, run_trials(specs, workers=workers))
+    rows: List[Dict] = []
+    means: List[float] = []
+    used_ns: List[int] = []
+    for cell in cells:
+        n = cell["n"]
+        windows = measure(grouped[("E2", n, "split")],
+                          windows_to_first_decision)
+        unanimous_windows = measure(grouped[("E2", n, "unanimous")],
+                                    windows_to_first_decision)
         summary = summarize_trials(windows)
         means.append(summary.mean)
         used_ns.append(n)
         rows.append({
             "experiment": "E2",
             "n": n,
-            "t": t,
+            "t": cell["t"],
             "inputs": "split",
             "trials": trials,
             "mean_windows": summary.mean,
             "median_windows": summary.median,
             "max_windows": summary.maximum,
-            "analytic_expected_windows": analytic.expected_windows,
+            "analytic_expected_windows": cell["analytic_windows"],
             "unanimous_mean_windows":
                 sum(unanimous_windows) / len(unanimous_windows),
             "fit_growth_rate_per_processor": None,
@@ -230,31 +249,35 @@ def run_crash_forgetful_experiment(ns: Sequence[int] = (9, 13, 17, 21),
                                    trials: int = 10,
                                    fault_fraction: float = 0.25,
                                    max_windows: int = 200000,
-                                   seed: int = 0) -> List[Dict]:
+                                   seed: int = 0,
+                                   workers: Optional[int] = None
+                                   ) -> List[Dict]:
     """Message-chain length of Ben-Or under the crash-model adversary (E4)."""
     rng = random.Random(seed)
-    rows: List[Dict] = []
-    means: List[float] = []
-    used_ns: List[int] = []
+    specs: List[TrialSpec] = []
+    cells: List[Dict] = []
     for n in ns:
         t = max(1, int(fault_fraction * n))
         if t >= n / 2:
             t = (n - 1) // 2
         inputs = split(n)
-        chains: List[float] = []
-        windows: List[float] = []
         for _ in range(trials):
-            result = run_execution(
-                BenOrAgreement, n=n, t=t, inputs=inputs,
-                adversary=CrashSplitVoteAdversary(seed=rng.getrandbits(32)),
-                max_windows=max_windows, seed=rng.getrandbits(32),
-                stop_when="first")
-            chain = result.message_chain_length
-            if chain is None:
-                chain = result.windows_elapsed
-            chains.append(chain)
-            windows.append(result.first_decision_window
-                           or result.windows_elapsed)
+            specs.append(TrialSpec(
+                protocol="ben-or", adversary="crash-split-vote",
+                n=n, t=t, inputs=tuple(inputs),
+                adversary_kwargs=_seeded_kwargs(rng),
+                seed=rng.getrandbits(32), max_windows=max_windows,
+                stop_when="first", tag=("E4", n)))
+        cells.append({"n": n, "t": t})
+    grouped = group_by_tag(specs, run_trials(specs, workers=workers))
+    rows: List[Dict] = []
+    means: List[float] = []
+    used_ns: List[int] = []
+    for cell in cells:
+        n, t = cell["n"], cell["t"]
+        results = grouped[("E4", n)]
+        chains = measure(results, message_chain_length)
+        windows = measure(results, windows_to_first_decision)
         chain_summary = summarize_trials(chains)
         means.append(chain_summary.mean)
         used_ns.append(n)
@@ -340,94 +363,93 @@ def run_baseline_experiment(ben_or_ns: Sequence[int] = (9, 15),
                             trials: int = 3,
                             max_windows: int = 5000,
                             max_steps: int = 400000,
-                            seed: int = 0) -> List[Dict]:
+                            seed: int = 0,
+                            workers: Optional[int] = None) -> List[Dict]:
     """Ben-Or under crash failures and Bracha under Byzantine failures (E6)."""
     rng = random.Random(seed)
-    rows: List[Dict] = []
+    specs: List[TrialSpec] = []
+    cells: List[Dict] = []
     for n in ben_or_ns:
         t = (n - 1) // 2
-        adversaries = {
-            "benign": lambda: BenignAdversary(),
-            "crash-at-start": lambda: StaticCrashAdversary(
-                crash_schedule={0: tuple(range(t))}),
-            "crash-at-decision": lambda: CrashAtDecisionAdversary(),
-            "random": lambda: RandomSchedulerAdversary(
-                seed=rng.getrandbits(32)),
-        }
+        adversaries = (
+            ("benign", "benign", None),
+            ("crash-at-start", "static-crash",
+             lambda rng, t=t: {"crash_schedule": {0: tuple(range(t))}}),
+            ("crash-at-decision", "crash-at-decision", None),
+            ("random", "random-scheduler", _seeded_kwargs),
+        )
         for workload_name, inputs in (("split", split(n)),
                                       ("unanimous-1", unanimous(n, 1))):
-            for adversary_name, adversary_factory in adversaries.items():
-                agreement_ok = True
-                validity_ok = True
-                terminated = True
-                windows_used = []
+            for display_name, adversary, kwargs_builder in adversaries:
+                tag = ("E6", "ben-or", n, workload_name, display_name)
                 for _ in range(trials):
-                    result = run_execution(
-                        BenOrAgreement, n=n, t=t, inputs=inputs,
-                        adversary=adversary_factory(),
-                        max_windows=max_windows, seed=rng.getrandbits(32),
-                        stop_when="all")
-                    agreement_ok &= result.agreement_ok
-                    validity_ok &= result.validity_ok
-                    terminated &= result.all_live_decided
-                    windows_used.append(result.windows_elapsed)
-                rows.append({
-                    "experiment": "E6",
-                    "protocol": "ben-or",
-                    "n": n,
-                    "t": t,
-                    "workload": workload_name,
-                    "adversary": adversary_name,
-                    "agreement_ok": agreement_ok,
-                    "validity_ok": validity_ok,
-                    "terminated": terminated,
-                    "mean_windows": sum(windows_used) / len(windows_used),
-                })
+                    specs.append(TrialSpec(
+                        protocol="ben-or", adversary=adversary,
+                        n=n, t=t, inputs=tuple(inputs),
+                        adversary_kwargs=(kwargs_builder(rng)
+                                          if kwargs_builder else {}),
+                        seed=rng.getrandbits(32), max_windows=max_windows,
+                        stop_when="all", tag=tag))
+                cells.append({"tag": tag, "protocol": "ben-or", "n": n,
+                              "t": t, "workload": workload_name,
+                              "adversary": display_name})
     for n in bracha_ns:
         t = (n - 1) // 3
-        strategies = {
-            "silent": SilentStrategy,
-            "flip": FlipValueStrategy,
-            "equivocate": EquivocateStrategy,
-            "random-values": RandomValueStrategy,
-        }
         for workload_name, inputs in (("split", split(n)),
                                       ("unanimous-0", unanimous(n, 0))):
-            for strategy_name, strategy_cls in strategies.items():
-                agreement_ok = True
-                validity_ok = True
-                terminated = True
+            for strategy_name in ("silent", "flip", "equivocate",
+                                  "random-values"):
+                tag = ("E6", "bracha", n, workload_name, strategy_name)
                 for _ in range(trials):
-                    factory = ProtocolFactory(BrachaAgreement, n=n, t=t)
-                    engine = StepEngine(factory, inputs,
-                                        seed=rng.getrandbits(32))
-                    adversary = ByzantineAdversary(
-                        corrupted=tuple(range(t)), strategy=strategy_cls(),
-                        seed=rng.getrandbits(32))
-                    result = engine.run(adversary, max_steps=max_steps,
-                                        stop_when="all")
-                    honest = [pid for pid in range(n) if pid >= t]
-                    honest_outputs = {result.outputs[pid] for pid in honest}
-                    honest_decided = None not in honest_outputs
-                    honest_values = {value for value in honest_outputs
-                                     if value is not None}
-                    honest_inputs = {inputs[pid] for pid in honest}
-                    agreement_ok &= len(honest_values) <= 1
-                    validity_ok &= honest_values.issubset(honest_inputs) \
-                        or not honest_values
-                    terminated &= honest_decided
-                rows.append({
-                    "experiment": "E6",
-                    "protocol": "bracha",
-                    "n": n,
-                    "t": t,
-                    "workload": workload_name,
-                    "adversary": strategy_name,
-                    "agreement_ok": agreement_ok,
-                    "validity_ok": validity_ok,
-                    "terminated": terminated,
-                    "mean_windows": None,
-                })
+                    engine_seed = rng.getrandbits(32)
+                    specs.append(TrialSpec(
+                        protocol="bracha", adversary="byzantine",
+                        n=n, t=t, inputs=tuple(inputs), seed=engine_seed,
+                        adversary_kwargs={"corrupted": tuple(range(t)),
+                                          "strategy": strategy_name,
+                                          "seed": rng.getrandbits(32)},
+                        engine="step", max_steps=max_steps,
+                        stop_when="all", tag=tag))
+                cells.append({"tag": tag, "protocol": "bracha", "n": n,
+                              "t": t, "workload": workload_name,
+                              "adversary": strategy_name})
+    grouped = group_by_tag(specs, run_trials(specs, workers=workers))
+    rows: List[Dict] = []
+    for cell in cells:
+        results = grouped[cell["tag"]]
+        if cell["protocol"] == "ben-or":
+            agreement_ok, validity_ok, terminated = correctness_flags(results)
+            windows_used = [result.windows_elapsed for result in results]
+            mean_windows: Optional[float] = \
+                sum(windows_used) / len(windows_used)
+        else:
+            # Byzantine runs judge correctness over the honest processors
+            # only: corrupted ones may "decide" anything.
+            t = cell["t"]
+            agreement_ok = validity_ok = terminated = True
+            mean_windows = None
+            for result in results:
+                honest = range(t, result.n)
+                honest_outputs = {result.outputs[pid] for pid in honest}
+                honest_values = {value for value in honest_outputs
+                                 if value is not None}
+                honest_inputs = {result.inputs[pid] for pid in honest}
+                agreement_ok &= len(honest_values) <= 1
+                validity_ok &= honest_values.issubset(honest_inputs) \
+                    or not honest_values
+                terminated &= None not in honest_outputs
+        rows.append({
+            "experiment": "E6",
+            "protocol": cell["protocol"],
+            "n": cell["n"],
+            "t": cell["t"],
+            "workload": cell["workload"],
+            "adversary": cell["adversary"],
+            "agreement_ok": agreement_ok,
+            "validity_ok": validity_ok,
+            "terminated": terminated,
+            "mean_windows": mean_windows,
+        })
     return rows
 
 
@@ -436,52 +458,53 @@ def run_baseline_experiment(ben_or_ns: Sequence[int] = (9, 15),
 # ----------------------------------------------------------------------
 def run_threshold_ablation(n: int = 24, trials: int = 4,
                            max_windows: int = 3000,
-                           seed: int = 0) -> List[Dict]:
+                           seed: int = 0,
+                           workers: Optional[int] = None) -> List[Dict]:
     """Effect of violating each Theorem 4 threshold constraint (E7)."""
     rng = random.Random(seed)
     t = max_tolerable_t(n)
-    rows: List[Dict] = []
-    for config in threshold_grid(n, t):
-        violations = config.violations()
-        adversaries = {
-            "split-vote": lambda: SplitVoteAdversary(
-                seed=rng.getrandbits(32)),
-            "polarizing": lambda: PolarizingAdversary(
-                seed=rng.getrandbits(32)),
-            "adaptive-resetting": lambda: AdaptiveResettingAdversary(
-                seed=rng.getrandbits(32)),
-        }
-        for adversary_name, adversary_factory in adversaries.items():
-            agreement_ok = True
-            validity_ok = True
-            decided_runs = 0
-            windows_used = []
+    specs: List[TrialSpec] = []
+    cells: List[Dict] = []
+    # The grid can contain duplicate (T1, T2, T3) configurations, so the
+    # tag carries the grid index to keep their cells separate.
+    for config_index, config in enumerate(threshold_grid(n, t)):
+        for adversary in ("split-vote", "polarizing", "adaptive-resetting"):
+            tag = ("E7", config_index, adversary)
             for _ in range(trials):
-                result = run_execution(
-                    ResetTolerantAgreement, n=n, t=t, inputs=split(n),
-                    adversary=adversary_factory(), max_windows=max_windows,
-                    seed=rng.getrandbits(32), stop_when="all",
-                    thresholds=config, validate_thresholds=False)
-                agreement_ok &= result.agreement_ok
-                validity_ok &= result.validity_ok
-                decided_runs += int(result.decided)
-                windows_used.append(result.windows_elapsed)
-            rows.append({
-                "experiment": "E7",
-                "n": n,
-                "t": t,
-                "T1": config.t1,
-                "T2": config.t2,
-                "T3": config.t3,
-                "constraints_ok": config.valid,
-                "violated": "; ".join(violations) if violations else "-",
-                "adversary": adversary_name,
-                "agreement_ok": agreement_ok,
-                "validity_ok": validity_ok,
-                "decided_runs": decided_runs,
-                "trials": trials,
-                "mean_windows": sum(windows_used) / len(windows_used),
-            })
+                specs.append(TrialSpec(
+                    protocol="reset-tolerant", adversary=adversary,
+                    n=n, t=t, inputs=tuple(split(n)),
+                    adversary_kwargs=_seeded_kwargs(rng),
+                    protocol_kwargs={"thresholds": config,
+                                     "validate_thresholds": False},
+                    seed=rng.getrandbits(32), max_windows=max_windows,
+                    stop_when="all", tag=tag))
+            cells.append({"tag": tag, "config": config,
+                          "adversary": adversary})
+    grouped = group_by_tag(specs, run_trials(specs, workers=workers))
+    rows: List[Dict] = []
+    for cell in cells:
+        config = cell["config"]
+        results = grouped[cell["tag"]]
+        violations = config.violations()
+        agreement_ok, validity_ok, _ = correctness_flags(results)
+        windows_used = [result.windows_elapsed for result in results]
+        rows.append({
+            "experiment": "E7",
+            "n": n,
+            "t": t,
+            "T1": config.t1,
+            "T2": config.t2,
+            "T3": config.t3,
+            "constraints_ok": config.valid,
+            "violated": "; ".join(violations) if violations else "-",
+            "adversary": cell["adversary"],
+            "agreement_ok": agreement_ok,
+            "validity_ok": validity_ok,
+            "decided_runs": sum(int(result.decided) for result in results),
+            "trials": trials,
+            "mean_windows": sum(windows_used) / len(windows_used),
+        })
     return rows
 
 

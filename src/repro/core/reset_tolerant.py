@@ -23,7 +23,7 @@ it then adopts that round and resumes at step 3.
 from __future__ import annotations
 
 import random
-from collections import Counter, defaultdict
+from collections import defaultdict
 from typing import ClassVar, Dict, List, Optional, Tuple
 
 from repro.core.thresholds import ThresholdConfig, default_thresholds
@@ -97,12 +97,13 @@ class ResetTolerantAgreement(Protocol):
         if self._resyncing:
             self._handle_resync_vote(message.sender, vote_round, vote_value)
             return
-        assert self.round is not None
-        if vote_round < self.round or vote_round in self._processed_rounds:
+        current_round = self.round
+        assert current_round is not None
+        if vote_round < current_round or vote_round in self._processed_rounds:
             return
-        self._votes[vote_round][message.sender] = vote_value
-        if vote_round == self.round and \
-                len(self._votes[vote_round]) >= self.thresholds.t1:
+        votes = self._votes[vote_round]
+        votes[message.sender] = vote_value
+        if vote_round == current_round and len(votes) >= self.thresholds.t1:
             self._finish_round(vote_round)
 
     def _on_reset(self) -> None:
@@ -118,8 +119,14 @@ class ResetTolerantAgreement(Protocol):
     def _finish_round(self, finished_round: int) -> None:
         """Step 3: evaluate the collected votes for ``finished_round``."""
         votes = self._votes[finished_round]
-        counts = Counter(votes.values())
-        majority_value, majority_count = self._strongest(counts)
+        # Votes are validated to be 0/1, so a sum tallies the ones; this
+        # replaces a Counter allocation on the per-round hot path.
+        ones = sum(votes.values())
+        zeros = len(votes) - ones
+        if zeros >= ones:
+            majority_value, majority_count = 0, zeros
+        else:
+            majority_value, majority_count = 1, ones
         if majority_count >= self.thresholds.t2 and not self.decided:
             self.decide(majority_value)
         if majority_count >= self.thresholds.t3:
@@ -143,15 +150,6 @@ class ResetTolerantAgreement(Protocol):
             self.round = vote_round
             self.estimate = None  # will be set by step 3 below
             self._finish_round(vote_round)
-
-    @staticmethod
-    def _strongest(counts: Counter) -> Tuple[int, int]:
-        """The value with the most votes (ties broken toward 0)."""
-        zero = counts.get(0, 0)
-        one = counts.get(1, 0)
-        if zero >= one:
-            return 0, zero
-        return 1, one
 
     # ------------------------------------------------------------------
     # Introspection.

@@ -1,0 +1,34 @@
+"""Trial-level parallel execution for the Monte Carlo experiments.
+
+The paper's headline numbers are estimates over many independent
+adversarial executions.  This package turns each execution into a picklable
+:class:`~repro.runner.spec.TrialSpec`, fans batches of specs out across
+worker processes (:class:`~repro.runner.parallel.ParallelRunner`, with a
+bit-identical serial fallback at ``workers=0``), and regroups the flat
+result list into experiment cells (:mod:`repro.runner.aggregate`).
+
+See ``PERFORMANCE.md`` at the repository root for the usage guide.
+"""
+
+from repro.runner.aggregate import (correctness_flags, group_by_tag,
+                                    measure, message_chain_length,
+                                    windows_to_first_decision)
+from repro.runner.parallel import ParallelRunner, default_workers, run_trials
+from repro.runner.spec import (STEP_ENGINE, WINDOW_ENGINE, TrialSpec,
+                               derive_seed, execute_trial)
+
+__all__ = [
+    "TrialSpec",
+    "execute_trial",
+    "derive_seed",
+    "WINDOW_ENGINE",
+    "STEP_ENGINE",
+    "ParallelRunner",
+    "run_trials",
+    "default_workers",
+    "group_by_tag",
+    "measure",
+    "windows_to_first_decision",
+    "message_chain_length",
+    "correctness_flags",
+]

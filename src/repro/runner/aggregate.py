@@ -1,0 +1,87 @@
+"""Result aggregation: from flat result lists back to experiment cells.
+
+Experiment functions build one :class:`~repro.runner.spec.TrialSpec` per
+trial, tagging all trials of the same experiment cell (same ``n``, same
+workload, same adversary, ...) with a shared ``tag``.  After a single
+:meth:`~repro.runner.parallel.ParallelRunner.run` over the whole batch,
+these helpers regroup the flat result list by tag — in first-appearance
+order, so rows come out in the same order the serial loops produced them —
+and feed per-cell measurements to
+:func:`repro.analysis.statistics.summarize_trials`.
+"""
+
+from __future__ import annotations
+
+from typing import (Callable, Dict, Hashable, Iterable, List, Sequence,
+                    Tuple)
+
+from repro.runner.spec import TrialSpec
+from repro.simulation.trace import ExecutionResult
+
+
+def group_by_tag(specs: Sequence[TrialSpec],
+                 results: Sequence[ExecutionResult]
+                 ) -> Dict[Hashable, List[ExecutionResult]]:
+    """Group results by their spec's tag, preserving first-seen tag order.
+
+    Args:
+        specs: the submitted specs, in submission order.
+        results: the results, aligned index-for-index with ``specs``.
+
+    Returns:
+        An insertion-ordered dict mapping each tag to its results in
+        submission order.
+    """
+    if len(specs) != len(results):
+        raise ValueError(
+            f"got {len(results)} results for {len(specs)} specs")
+    grouped: Dict[Hashable, List[ExecutionResult]] = {}
+    for spec, result in zip(specs, results):
+        grouped.setdefault(spec.tag, []).append(result)
+    return grouped
+
+
+def measure(results: Iterable[ExecutionResult],
+            metric: Callable[[ExecutionResult], float]) -> List[float]:
+    """Apply a per-execution metric to every result of a cell."""
+    return [metric(result) for result in results]
+
+
+def windows_to_first_decision(result: ExecutionResult) -> float:
+    """The paper's running-time measure, with the window cap as fallback.
+
+    Executions that never decided within the cap report the number of
+    windows they survived, matching the serial experiment code's
+    ``first_decision_window or windows_elapsed`` convention.
+    """
+    return float(result.first_decision_window or result.windows_elapsed)
+
+
+def message_chain_length(result: ExecutionResult) -> float:
+    """Deciding message-chain length, falling back to windows elapsed."""
+    chain = result.message_chain_length
+    if chain is None:
+        chain = result.windows_elapsed
+    return float(chain)
+
+
+def correctness_flags(results: Iterable[ExecutionResult]
+                      ) -> Tuple[bool, bool, bool]:
+    """(agreement, validity, all-live-terminated) ANDed across a cell."""
+    agreement_ok = True
+    validity_ok = True
+    terminated = True
+    for result in results:
+        agreement_ok &= result.agreement_ok
+        validity_ok &= result.validity_ok
+        terminated &= result.all_live_decided
+    return agreement_ok, validity_ok, terminated
+
+
+__all__ = [
+    "group_by_tag",
+    "measure",
+    "windows_to_first_decision",
+    "message_chain_length",
+    "correctness_flags",
+]

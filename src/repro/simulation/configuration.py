@@ -16,7 +16,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 from repro.simulation.errors import ConfigurationMismatchError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Configuration:
     """An immutable snapshot of the joint state of ``n`` processors.
 

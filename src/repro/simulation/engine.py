@@ -75,6 +75,13 @@ class StepEngine:
         self.total_crashes = 0
         self.total_resets = 0
         self._first_decision_step: Optional[int] = None
+        # Decision bookkeeping, maintained incrementally so that the
+        # per-step stop-condition checks are O(1) instead of scanning all
+        # processors on every step.
+        self._decided_count = sum(1 for proc in self.processors
+                                  if proc.decided)
+        self._live_undecided = sum(1 for proc in self.processors
+                                   if not proc.crashed and not proc.decided)
 
     # ------------------------------------------------------------------
     # Inspection.
@@ -94,12 +101,11 @@ class StepEngine:
 
     def any_decided(self) -> bool:
         """Whether some processor has decided."""
-        return any(proc.decided for proc in self.processors)
+        return self._decided_count > 0
 
     def all_live_decided(self) -> bool:
         """Whether every non-crashed processor has decided."""
-        return all(proc.decided for proc in self.processors
-                   if not proc.crashed)
+        return self._live_undecided == 0
 
     def outputs(self) -> Tuple[Optional[int], ...]:
         """Current output bits."""
@@ -124,15 +130,24 @@ class StepEngine:
         if self._first_decision_step is None and self.any_decided():
             self._first_decision_step = self.steps_taken
 
+    def _note_decision(self, proc: Processor, was_decided: bool) -> None:
+        """Update the incremental decision counters after a transition."""
+        if not was_decided and proc.decided:
+            self._decided_count += 1
+            if not proc.crashed:
+                self._live_undecided -= 1
+
     def _apply_send(self, pid: int) -> None:
         proc = self.processors[pid]
         if proc.crashed:
             raise InvalidStepError(
                 f"crashed processor {pid} cannot take a sending step")
+        was_decided = proc.decided
         messages = proc.send_step()
         if messages:
             self.network.submit(messages,
                                 chain_depth=proc.outgoing_chain_depth)
+        self._note_decision(proc, was_decided)
 
     def _apply_receive(self, step: Step) -> None:
         if step.message is None:
@@ -146,7 +161,9 @@ class StepEngine:
             return
         if step.corrupted_payload is not None:
             message = message.corrupted(step.corrupted_payload)
+        was_decided = proc.decided
         proc.receive_step(message)
+        self._note_decision(proc, was_decided)
 
     def _apply_reset(self, pid: int) -> None:
         if self.reset_budget is not None and \
@@ -156,8 +173,10 @@ class StepEngine:
         if proc.crashed:
             raise InvalidStepError(
                 f"cannot reset crashed processor {pid}")
+        was_decided = proc.decided
         proc.reset()
         self.total_resets += 1
+        self._note_decision(proc, was_decided)
 
     def _apply_crash(self, pid: int) -> None:
         proc = self.processors[pid]
@@ -166,6 +185,8 @@ class StepEngine:
         if self.total_crashes >= self.crash_budget:
             raise AdversaryBudgetError(
                 f"adversary exceeded crash budget of {self.crash_budget}")
+        if not proc.decided:
+            self._live_undecided -= 1
         proc.crash()
         self.total_crashes += 1
 

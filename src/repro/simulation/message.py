@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A single message travelling on a dedicated sender->receiver channel.
 
@@ -45,6 +45,20 @@ class Message:
     def with_chain_depth(self, chain_depth: int) -> "Message":
         """Return a copy carrying the given message-chain depth."""
         return replace(self, chain_depth=chain_depth)
+
+    def stamp_in_place(self, sequence: int, chain_depth: int) -> None:
+        """Set both bookkeeping fields without allocating a copy.
+
+        Messages follow a mutable-until-submitted convention: a freshly
+        composed message is owned exclusively by its sender until it is
+        handed to :meth:`~repro.simulation.network.Network.submit`, which
+        stamps it in place (one message object per send instead of three)
+        and freezes it by publication.  Code holding a message obtained from
+        the network must treat it as immutable, as before.
+        """
+        _set = object.__setattr__
+        _set(self, "sequence", sequence)
+        _set(self, "chain_depth", chain_depth)
 
     def corrupted(self, payload: Any) -> "Message":
         """Return a copy whose payload has been replaced by an adversary.

@@ -13,12 +13,21 @@ engines need:
 * removing a message once delivered;
 * dropping messages addressed to or sent by crashed processors, when the
   crash adversary decides they are lost.
+
+Internally the buffer is indexed for the access patterns the engines
+actually have: a dict keyed by sequence number makes :meth:`Network.deliver`
+O(1), and per-receiver-per-sender deques make the acceptable-window delivery
+(:meth:`Network.take_window_deliveries`) proportional to the number of
+allowed senders rather than to the number of undelivered messages.  Removal
+through the sequence index leaves ghost entries in the deques; they are
+skipped (and trimmed from the newest end) lazily.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from collections import defaultdict, deque
+from typing import (Callable, Deque, Dict, Iterable, Iterator, List,
+                    Optional, Set)
 
 from repro.simulation.errors import InvalidStepError
 from repro.simulation.message import Message
@@ -34,9 +43,14 @@ class Network:
     def __init__(self, n: int) -> None:
         self.n = n
         self._sequence = 0
-        # Undelivered messages, keyed by receiver for efficient window
-        # delivery.  Within a channel we preserve send order.
-        self._pending: Dict[int, List[Message]] = defaultdict(list)
+        # Undelivered messages keyed by sequence number: the authoritative
+        # "is this message still pending?" index, giving O(1) delivery.
+        self._live: Dict[int, Message] = {}
+        # Per-receiver, per-sender channel queues in send order.  Entries
+        # whose sequence is no longer in ``_live`` are ghosts left behind by
+        # out-of-order delivery or drops and are skipped lazily.
+        self._channels: Dict[int, Dict[int, Deque[Message]]] = \
+            defaultdict(dict)
         self._delivered_count = 0
         self._sent_count = 0
 
@@ -53,24 +67,76 @@ class Network:
                 (``1 +`` the deepest chain the sender had received).
 
         Returns:
-            The stamped copies actually stored in the buffer.
+            The stamped messages actually stored in the buffer.  Stamping
+            happens in place (messages are mutable until submitted), so
+            these are the same objects the caller passed in.
         """
         stored = []
-        for message in messages:
-            if not 0 <= message.receiver < self.n:
-                raise InvalidStepError(
-                    f"message addressed to unknown processor "
-                    f"{message.receiver}")
-            if not 0 <= message.sender < self.n:
-                raise InvalidStepError(
-                    f"message from unknown processor {message.sender}")
-            stamped = message.with_sequence(self._sequence)
-            stamped = stamped.with_chain_depth(chain_depth)
-            self._sequence += 1
-            self._sent_count += 1
-            self._pending[message.receiver].append(stamped)
-            stored.append(stamped)
+        n = self.n
+        sequence = self._sequence
+        live = self._live
+        all_channels = self._channels
+        try:
+            for message in messages:
+                receiver = message.receiver
+                if not 0 <= receiver < n:
+                    raise InvalidStepError(
+                        f"message addressed to unknown processor {receiver}")
+                if not 0 <= message.sender < n:
+                    raise InvalidStepError(
+                        f"message from unknown processor {message.sender}")
+                message.stamp_in_place(sequence, chain_depth)
+                live[sequence] = message
+                sequence += 1
+                channels = all_channels[receiver]
+                queue = channels.get(message.sender)
+                if queue is None:
+                    queue = channels[message.sender] = deque()
+                queue.append(message)
+                stored.append(message)
+        finally:
+            # Messages accepted before a mid-batch validation error stay
+            # in the buffer, exactly as with per-message bookkeeping.
+            self._sent_count += sequence - self._sequence
+            self._sequence = sequence
         return stored
+
+    # ------------------------------------------------------------------
+    # Internal filtered scans.
+    # ------------------------------------------------------------------
+    def _live_matching(self, receiver: int,
+                       senders: Optional[Set[int]] = None,
+                       predicate: Optional[Callable[[Message], bool]] = None
+                       ) -> Iterator[Message]:
+        """Iterate the live (still pending) messages for one receiver.
+
+        The single filtered-scan primitive shared by :meth:`pending_for`,
+        :meth:`drop_channel` and :meth:`clear_stale_rounds`: optionally
+        restricted to a sender set and to messages matching ``predicate``.
+        Ghost entries are skipped.  Iteration order is per-channel send
+        order; callers needing global send order sort by sequence.
+        """
+        channels = self._channels.get(receiver)
+        if not channels:
+            return
+        if senders is None:
+            queues = channels.values()
+        else:
+            queues = [channels[s] for s in senders if s in channels]
+        live = self._live
+        for queue in queues:
+            for message in queue:
+                if message.sequence in live and (
+                        predicate is None or predicate(message)):
+                    yield message
+
+    def _discard(self, messages: Iterable[Message]) -> int:
+        """Remove messages from the live index, returning how many were live."""
+        dropped = 0
+        for message in messages:
+            if self._live.pop(message.sequence, None) is not None:
+                dropped += 1
+        return dropped
 
     # ------------------------------------------------------------------
     # Inspection.
@@ -86,19 +152,16 @@ class Network:
         Returns:
             Messages in send order.
         """
-        messages = self._pending.get(receiver, [])
-        if senders is None:
-            return list(messages)
-        return [m for m in messages if m.sender in senders]
+        return sorted(self._live_matching(receiver, senders),
+                      key=lambda m: m.sequence)
 
     def pending_count(self) -> int:
         """Total number of undelivered messages."""
-        return sum(len(msgs) for msgs in self._pending.values())
+        return len(self._live)
 
     def all_pending(self) -> List[Message]:
         """All undelivered messages, in global send order."""
-        messages = [m for msgs in self._pending.values() for m in msgs]
-        return sorted(messages, key=lambda m: m.sequence)
+        return sorted(self._live.values(), key=lambda m: m.sequence)
 
     @property
     def sent_count(self) -> int:
@@ -120,14 +183,13 @@ class Network:
             InvalidStepError: if the message is not pending (e.g. the
                 adversary asked to deliver something that was never sent).
         """
-        queue = self._pending.get(message.receiver, [])
-        for index, candidate in enumerate(queue):
-            if candidate.sequence == message.sequence:
-                del queue[index]
-                self._delivered_count += 1
-                return candidate
-        raise InvalidStepError(
-            f"message {message} is not pending delivery")
+        candidate = self._live.get(message.sequence)
+        if candidate is None or candidate.receiver != message.receiver:
+            raise InvalidStepError(
+                f"message {message} is not pending delivery")
+        del self._live[message.sequence]
+        self._delivered_count += 1
+        return candidate
 
     def take_window_deliveries(self, receiver: int,
                                senders: Set[int]) -> List[Message]:
@@ -140,16 +202,23 @@ class Network:
         recently sent one — leaving older undelivered messages in the buffer
         (they model the asynchrony the adversary may exploit later).
         """
-        queue = self._pending.get(receiver, [])
-        newest: Dict[int, Message] = {}
-        for message in queue:
-            if message.sender in senders:
-                current = newest.get(message.sender)
-                if current is None or message.sequence > current.sequence:
-                    newest[message.sender] = message
-        deliveries = sorted(newest.values(), key=lambda m: m.sender)
-        for message in deliveries:
-            self.deliver(message)
+        channels = self._channels.get(receiver)
+        if not channels:
+            return []
+        live = self._live
+        deliveries: List[Message] = []
+        for sender in sorted(senders):
+            queue = channels.get(sender)
+            if not queue:
+                continue
+            # Trim ghosts so the rightmost entry is the newest live message.
+            while queue and queue[-1].sequence not in live:
+                queue.pop()
+            if queue:
+                message = queue.pop()
+                del live[message.sequence]
+                deliveries.append(message)
+        self._delivered_count += len(deliveries)
         return deliveries
 
     def drop_channel(self, sender: Optional[int] = None,
@@ -159,17 +228,21 @@ class Network:
         Used when a crash adversary declares that a crashed processor's
         in-flight messages are lost.  Returns the number of dropped messages.
         """
+        if receiver is not None:
+            receivers: Iterable[int] = (receiver,)
+        else:
+            receivers = list(self._channels)
+        senders = None if sender is None else {sender}
         dropped = 0
-        for dest, queue in self._pending.items():
-            if receiver is not None and dest != receiver:
-                continue
-            keep = []
-            for message in queue:
-                if sender is None or message.sender == sender:
-                    dropped += 1
+        for dest in receivers:
+            dropped += self._discard(self._live_matching(dest, senders))
+            # The scanned channels are now entirely ghosts; reclaim them.
+            channels = self._channels.get(dest)
+            if channels:
+                if sender is None:
+                    channels.clear()
                 else:
-                    keep.append(message)
-            self._pending[dest] = keep
+                    channels.pop(sender, None)
         return dropped
 
     def clear_stale_rounds(self, receiver: int, is_stale) -> int:
@@ -183,11 +256,8 @@ class Network:
         Returns:
             Number of discarded messages.
         """
-        queue = self._pending.get(receiver, [])
-        keep = [m for m in queue if not is_stale(m.payload)]
-        dropped = len(queue) - len(keep)
-        self._pending[receiver] = keep
-        return dropped
+        return self._discard(list(self._live_matching(
+            receiver, predicate=lambda m: is_stale(m.payload))))
 
 
 __all__ = ["Network"]

@@ -27,6 +27,10 @@ class Processor:
             crashed processor takes no further steps and receives nothing.
     """
 
+    __slots__ = ("protocol", "crashed", "_max_received_chain",
+                 "_deciding_chain_depth", "_messages_sent",
+                 "_messages_received")
+
     def __init__(self, protocol: "Protocol") -> None:
         self.protocol = protocol
         self.crashed = False
@@ -81,18 +85,19 @@ class Processor:
             InvalidStepError: if the processor has crashed or the message is
                 addressed to someone else.
         """
+        protocol = self.protocol
         if self.crashed:
             raise InvalidStepError(
                 f"cannot deliver to crashed processor {self.pid}")
-        if message.receiver != self.pid:
+        if message.receiver != protocol.pid:
             raise InvalidStepError(
                 f"message for {message.receiver} delivered to {self.pid}")
-        was_decided = self.protocol.decided
+        was_decided = protocol.decided
         self._messages_received += 1
-        self._max_received_chain = max(self._max_received_chain,
-                                       message.chain_depth)
-        self.protocol.receive_step(message)
-        if not was_decided and self.protocol.decided:
+        if message.chain_depth > self._max_received_chain:
+            self._max_received_chain = message.chain_depth
+        protocol.receive_step(message)
+        if not was_decided and protocol.decided:
             self._deciding_chain_depth = self._max_received_chain
 
     def reset(self) -> None:

@@ -85,23 +85,25 @@ class WindowSpec:
             raise InvalidWindowError(
                 f"window specifies sender sets for {len(self.senders_for)} "
                 f"processors, expected {n}")
+        everyone = frozenset(range(n))
+        minimum = n - t
         for pid, senders in enumerate(self.senders_for):
-            if len(senders) < n - t:
+            if len(senders) < minimum:
                 raise InvalidWindowError(
                     f"sender set for processor {pid} has size "
-                    f"{len(senders)} < n - t = {n - t}")
-            if any(not 0 <= s < n for s in senders):
+                    f"{len(senders)} < n - t = {minimum}")
+            if not senders <= everyone:
                 raise InvalidWindowError(
                     f"sender set for processor {pid} contains identities "
                     f"outside [0, {n})")
         if len(self.resets) > t:
             raise InvalidWindowError(
                 f"window resets {len(self.resets)} > t = {t} processors")
-        if any(not 0 <= r < n for r in self.resets):
+        if not self.resets <= everyone:
             raise InvalidWindowError("reset set contains invalid identities")
-        if any(not 0 <= c < n for c in self.crashes):
+        if not self.crashes <= everyone:
             raise InvalidWindowError("crash set contains invalid identities")
-        if any(not 0 <= d < n for d in self.deliver_last):
+        if not self.deliver_last <= everyone:
             raise InvalidWindowError(
                 "deliver_last contains invalid identities")
 
@@ -253,16 +255,19 @@ class WindowEngine:
         # Phase 2: receiving steps.  The adversary controls the order of
         # receiving steps within the window; deprioritised senders are
         # delivered last.
+        deliver_last = spec.deliver_last
         for proc in self.processors:
             if proc.crashed:
                 continue
-            senders = set(spec.senders_for[proc.pid])
-            deliveries = self.network.take_window_deliveries(proc.pid,
-                                                             senders)
-            if spec.deliver_last:
-                deliveries.sort(key=lambda message:
-                                (message.sender in spec.deliver_last,
-                                 message.sender))
+            deliveries = self.network.take_window_deliveries(
+                proc.pid, spec.senders_for[proc.pid])
+            if deliver_last:
+                # Stable partition: deliveries arrive sorted by sender, so
+                # this equals sorting by (sender in deliver_last, sender)
+                # without the per-message key calls.
+                deliveries = (
+                    [m for m in deliveries if m.sender not in deliver_last]
+                    + [m for m in deliveries if m.sender in deliver_last])
             for message in deliveries:
                 proc.receive_step(message)
 

@@ -1,5 +1,7 @@
 """Unit tests for the message buffer."""
 
+import random
+
 import pytest
 
 from repro.simulation.errors import InvalidStepError
@@ -125,3 +127,155 @@ class TestDropAndPrune:
             1, is_stale=lambda payload: payload[1] < 3)
         assert dropped == 1
         assert network.pending_for(1)[0].payload == ("VOTE", 5, 1)
+
+
+class ReferenceNetwork:
+    """The seed implementation's list-scan semantics, kept as an oracle.
+
+    Mirrors the original per-receiver list buffer: linear-scan delivery,
+    newest-per-sender window deliveries via a full queue re-scan, and
+    filtered keep-loops for drops.  The optimized :class:`Network` must be
+    observationally equivalent to this.
+    """
+
+    def __init__(self, n):
+        self.n = n
+        self._sequence = 0
+        self._pending = {}
+        self.delivered_count = 0
+        self.sent_count = 0
+
+    def submit(self, messages, chain_depth=1):
+        stored = []
+        for message in messages:
+            stamped = Message(message.sender, message.receiver,
+                              message.payload, self._sequence, chain_depth)
+            self._sequence += 1
+            self.sent_count += 1
+            self._pending.setdefault(message.receiver, []).append(stamped)
+            stored.append(stamped)
+        return stored
+
+    def pending_for(self, receiver, senders=None):
+        messages = self._pending.get(receiver, [])
+        if senders is None:
+            return list(messages)
+        return [m for m in messages if m.sender in senders]
+
+    def pending_count(self):
+        return sum(len(msgs) for msgs in self._pending.values())
+
+    def all_pending(self):
+        messages = [m for msgs in self._pending.values() for m in msgs]
+        return sorted(messages, key=lambda m: m.sequence)
+
+    def deliver(self, message):
+        queue = self._pending.get(message.receiver, [])
+        for index, candidate in enumerate(queue):
+            if candidate.sequence == message.sequence:
+                del queue[index]
+                self.delivered_count += 1
+                return candidate
+        raise InvalidStepError("not pending")
+
+    def take_window_deliveries(self, receiver, senders):
+        queue = self._pending.get(receiver, [])
+        newest = {}
+        for message in queue:
+            if message.sender in senders:
+                current = newest.get(message.sender)
+                if current is None or message.sequence > current.sequence:
+                    newest[message.sender] = message
+        deliveries = sorted(newest.values(), key=lambda m: m.sender)
+        for message in deliveries:
+            self.deliver(message)
+        return deliveries
+
+    def drop_channel(self, sender=None, receiver=None):
+        dropped = 0
+        for dest, queue in self._pending.items():
+            if receiver is not None and dest != receiver:
+                continue
+            keep = []
+            for message in queue:
+                if sender is None or message.sender == sender:
+                    dropped += 1
+                else:
+                    keep.append(message)
+            self._pending[dest] = keep
+        return dropped
+
+    def clear_stale_rounds(self, receiver, is_stale):
+        queue = self._pending.get(receiver, [])
+        keep = [m for m in queue if not is_stale(m.payload)]
+        dropped = len(queue) - len(keep)
+        self._pending[receiver] = keep
+        return dropped
+
+
+class TestDifferentialAgainstReference:
+    """Randomized op sequences must match the seed list-scan semantics."""
+
+    N = 6
+
+    def _assert_same_view(self, network, reference):
+        assert network.pending_count() == reference.pending_count()
+        assert network.all_pending() == reference.all_pending()
+        for receiver in range(self.N):
+            assert network.pending_for(receiver) == \
+                reference.pending_for(receiver)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_operation_sequences(self, seed):
+        rng = random.Random(seed)
+        network = Network(self.N)
+        reference = ReferenceNetwork(self.N)
+        for _ in range(120):
+            op = rng.choice(["submit", "submit", "submit", "deliver",
+                             "window", "window", "drop", "stale",
+                             "pending"])
+            if op == "submit":
+                sender = rng.randrange(self.N)
+                depth = rng.randint(1, 5)
+                batch = broadcast(sender, self.N,
+                                  ("VOTE", rng.randint(1, 4),
+                                   rng.getrandbits(1)))
+                got = network.submit(batch, chain_depth=depth)
+                # The reference needs its own copies: the optimized network
+                # stamps in place.
+                expected = reference.submit(
+                    [Message(m.sender, m.receiver, m.payload)
+                     for m in got], chain_depth=depth)
+                assert got == expected
+            elif op == "deliver":
+                pending = reference.all_pending()
+                if pending:
+                    target = rng.choice(pending)
+                    assert network.deliver(target) == \
+                        reference.deliver(target)
+            elif op == "window":
+                receiver = rng.randrange(self.N)
+                senders = {pid for pid in range(self.N)
+                           if rng.getrandbits(1)}
+                assert network.take_window_deliveries(receiver, senders) \
+                    == reference.take_window_deliveries(receiver, senders)
+            elif op == "drop":
+                sender = rng.choice([None, rng.randrange(self.N)])
+                receiver = rng.choice([None, rng.randrange(self.N)])
+                assert network.drop_channel(sender, receiver) == \
+                    reference.drop_channel(sender, receiver)
+            elif op == "stale":
+                receiver = rng.randrange(self.N)
+                cutoff = rng.randint(1, 4)
+                predicate = lambda payload, c=cutoff: payload[1] < c
+                assert network.clear_stale_rounds(receiver, predicate) == \
+                    reference.clear_stale_rounds(receiver, predicate)
+            else:
+                receiver = rng.randrange(self.N)
+                senders = {pid for pid in range(self.N)
+                           if rng.getrandbits(1)}
+                assert network.pending_for(receiver, senders) == \
+                    reference.pending_for(receiver, senders)
+            self._assert_same_view(network, reference)
+        assert network.delivered_count == reference.delivered_count
+        assert network.sent_count == reference.sent_count
