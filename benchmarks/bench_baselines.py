@@ -1,20 +1,22 @@
 """Benchmark E6 — baseline protocols at their classical resilience bounds.
 
 Regenerates the correctness table for Ben-Or under crash failures
-(``t < n/2``) and Bracha under Byzantine failures (``t < n/3``).
+(``t < n/2``) and Bracha under Byzantine failures (``t < n/3``), via the
+experiment registry.
 """
 
 import pytest
 
-from repro.analysis.experiments import run_baseline_experiment
+from repro.experiments import get_experiment
 
 
 @pytest.mark.benchmark(group="E6-baselines")
 def test_bench_baseline_protocols(benchmark, print_rows):
+    experiment = get_experiment("E6")
     rows = benchmark.pedantic(
-        run_baseline_experiment,
-        kwargs={"ben_or_ns": (9, 15), "bracha_ns": (7, 10), "trials": 2,
-                "seed": 7},
+        experiment.run,
+        kwargs={"params": {"ben_or_ns": (9, 15), "bracha_ns": (7, 10),
+                           "trials": 2, "seed": 7}},
         iterations=1, rounds=1)
     print_rows("E6: Ben-Or (crash) and Bracha (Byzantine) baselines", rows)
     assert all(row["agreement_ok"] for row in rows)

@@ -4,20 +4,21 @@ Regenerates the contrast the paper draws in its introduction: Kapron-style
 committee election finishes in polylogarithmically many rounds against a
 non-adaptive adversary but fails almost surely against an adaptive one,
 whereas the adaptive-safe threshold-voting algorithm needs exponentially
-many windows.
+many windows.  Runs via the experiment registry.
 """
 
 import pytest
 
-from repro.analysis.experiments import run_committee_experiment
+from repro.experiments import get_experiment
 
 
 @pytest.mark.benchmark(group="E5-committee")
 def test_bench_committee_contrast(benchmark, print_rows):
+    experiment = get_experiment("E5")
     rows = benchmark.pedantic(
-        run_committee_experiment,
-        kwargs={"ns": (32, 64, 128), "trials": 30, "fault_fraction": 0.2,
-                "seed": 6},
+        experiment.run,
+        kwargs={"params": {"ns": (32, 64, 128), "trials": 30,
+                           "fault_fraction": 0.2, "seed": 6}},
         iterations=1, rounds=1)
     print_rows("E5: committee election vs adaptive-safe agreement", rows)
     for row in rows:

@@ -3,20 +3,21 @@
 Regenerates the predicted lower-bound curves ``E = C * exp(alpha * n)`` for
 several fault fractions (including the adversary's success probability,
 which Theorem 5 shows is at least 1/2), plus exact verifications of
-Lemma 9 on concrete product spaces.
+Lemma 9 on concrete product spaces.  Runs via the experiment registry.
 """
 
 import pytest
 
-from repro.analysis.experiments import run_constants_experiment
+from repro.experiments import get_experiment
 
 
 @pytest.mark.benchmark(group="E8-constants")
 def test_bench_lower_bound_constants(benchmark, print_rows):
+    experiment = get_experiment("E8")
     rows = benchmark.pedantic(
-        run_constants_experiment,
-        kwargs={"cs": (0.05, 0.1, 1.0 / 6.0), "ns": (50, 100, 200, 400),
-                "seed": 9},
+        experiment.run,
+        kwargs={"params": {"cs": (0.05, 0.1, 1.0 / 6.0),
+                           "ns": (50, 100, 200, 400), "seed": 9}},
         iterations=1, rounds=1)
     print_rows("E8: Theorem 5 constants and Talagrand spot checks", rows)
     curve_rows = [row for row in rows if row["experiment"] == "E8"]

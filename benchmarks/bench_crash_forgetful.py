@@ -2,20 +2,21 @@
 
 Regenerates the "message-chain length until first decision versus n" series
 for Ben-Or (a forgetful, fully communicative algorithm) against the
-vote-splitting crash-model adversary.
+vote-splitting crash-model adversary, via the experiment registry.
 """
 
 import pytest
 
-from repro.analysis.experiments import run_crash_forgetful_experiment
+from repro.experiments import get_experiment
 
 
 @pytest.mark.benchmark(group="E4-crash-forgetful")
 def test_bench_ben_or_message_chain_growth(benchmark, print_rows):
+    experiment = get_experiment("E4")
     rows = benchmark.pedantic(
-        run_crash_forgetful_experiment,
-        kwargs={"ns": (9, 13, 17, 21), "trials": 8, "fault_fraction": 0.25,
-                "seed": 5},
+        experiment.run,
+        kwargs={"params": {"ns": (9, 13, 17, 21), "trials": 8,
+                           "fault_fraction": 0.25, "seed": 5}},
         iterations=1, rounds=1)
     print_rows("E4: Ben-Or message-chain length under the crash-model "
                "adversary", rows)

@@ -2,20 +2,22 @@
 
 Regenerates the "windows until first decision versus n" series for split
 inputs under the strongly adaptive (vote-splitting + resetting) adversary,
-together with the analytic prediction and the exponential fit.
+together with the analytic prediction and the exponential fit, via the
+experiment registry.
 """
 
 import pytest
 
-from repro.analysis.experiments import run_exponential_rounds_experiment
+from repro.experiments import get_experiment
 
 
 @pytest.mark.benchmark(group="E2-exponential-rounds")
 def test_bench_exponential_windows_vs_n(benchmark, print_rows):
+    experiment = get_experiment("E2")
     rows = benchmark.pedantic(
-        run_exponential_rounds_experiment,
-        kwargs={"ns": (12, 16, 20, 24), "trials": 4, "use_resets": True,
-                "seed": 2},
+        experiment.run,
+        kwargs={"params": {"ns": (12, 16, 20, 24), "trials": 4,
+                           "use_resets": True, "seed": 2}},
         iterations=1, rounds=1)
     print_rows("E2: windows to first decision (split inputs, strongly "
                "adaptive adversary)", rows)
@@ -31,10 +33,11 @@ def test_bench_exponential_windows_vs_n(benchmark, print_rows):
 @pytest.mark.benchmark(group="E2-exponential-rounds")
 def test_bench_exponential_windows_without_resets(benchmark, print_rows):
     """Ablation: scheduling power alone (no resets) already forces the blowup."""
+    experiment = get_experiment("E2")
     rows = benchmark.pedantic(
-        run_exponential_rounds_experiment,
-        kwargs={"ns": (12, 16, 20), "trials": 3, "use_resets": False,
-                "seed": 3},
+        experiment.run,
+        kwargs={"params": {"ns": (12, 16, 20), "trials": 3,
+                           "use_resets": False, "seed": 3}},
         iterations=1, rounds=1)
     print_rows("E2 (ablation): split-vote adversary without resets", rows)
     data = [row for row in rows if row["experiment"] == "E2"]

@@ -2,19 +2,22 @@
 
 Regenerates the correctness/termination table of the reset-tolerant
 algorithm against the strongly adaptive adversaries (benign, random,
-silencing, split-vote, adaptive-resetting) across workloads.
+silencing, split-vote, adaptive-resetting) across workloads, pulled from
+the experiment registry.
 """
 
 import pytest
 
-from repro.analysis.experiments import run_feasibility_experiment
+from repro.experiments import get_experiment
 
 
 @pytest.mark.benchmark(group="E1-feasibility")
 def test_bench_feasibility_sweep(benchmark, print_rows):
+    experiment = get_experiment("E1")
     rows = benchmark.pedantic(
-        run_feasibility_experiment,
-        kwargs={"ns": (12, 18), "trials": 2, "max_windows": 4000, "seed": 1},
+        experiment.run,
+        kwargs={"params": {"ns": (12, 18), "trials": 2,
+                           "max_windows": 4000, "seed": 1}},
         iterations=1, rounds=1)
     print_rows("E1: feasibility against the strongly adaptive adversary",
                rows)

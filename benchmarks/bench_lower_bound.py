@@ -3,20 +3,21 @@
 Regenerates the numerical checks of the proof's ingredients: Hamming
 separation of the base decision sets (Lemma 11), the Talagrand thresholds
 (Lemma 13), the hybrid-window interpolation (Lemma 14) and the input
-interpolation from the proof of Theorem 5.
+interpolation from the proof of Theorem 5, via the experiment registry.
 """
 
 import pytest
 
-from repro.analysis.experiments import run_lower_bound_experiment
+from repro.experiments import get_experiment
 
 
 @pytest.mark.benchmark(group="E3-lower-bound")
 def test_bench_lower_bound_machinery(benchmark, print_rows):
+    experiment = get_experiment("E3")
     rows = benchmark.pedantic(
-        run_lower_bound_experiment,
-        kwargs={"ns": (8, 12), "samples": 5, "separation_trials": 8,
-                "seed": 4},
+        experiment.run,
+        kwargs={"params": {"ns": (8, 12), "samples": 5,
+                           "separation_trials": 8, "seed": 4}},
         iterations=1, rounds=1)
     print_rows("E3: lower-bound machinery checks", rows)
     assert all(row["separation_holds"] for row in rows)

@@ -3,19 +3,22 @@
 Regenerates the table showing that the Theorem 4 threshold constraints are
 necessary: valid settings never violate agreement or validity, while
 selected violations lead to disagreement (under the polarizing adversary) or
-to non-termination within the window budget.
+to non-termination within the window budget.  Runs via the experiment
+registry.
 """
 
 import pytest
 
-from repro.analysis.experiments import run_threshold_ablation
+from repro.experiments import get_experiment
 
 
 @pytest.mark.benchmark(group="E7-thresholds")
 def test_bench_threshold_ablation(benchmark, print_rows):
+    experiment = get_experiment("E7")
     rows = benchmark.pedantic(
-        run_threshold_ablation,
-        kwargs={"n": 18, "trials": 2, "max_windows": 1500, "seed": 8},
+        experiment.run,
+        kwargs={"params": {"n": 18, "trials": 2, "max_windows": 1500,
+                           "seed": 8}},
         iterations=1, rounds=1)
     print_rows("E7: threshold ablation", rows)
     valid_rows = [row for row in rows if row["constraints_ok"]]

@@ -1,10 +1,10 @@
 """Benchmark-suite configuration.
 
 Each benchmark module regenerates one experiment of EXPERIMENTS.md through
-the shared experiment runners in :mod:`repro.analysis.experiments`.  The
-rows produced by the most recent run of each benchmark are echoed to stdout
-(run pytest with ``-s`` to see them) so the EXPERIMENTS.md tables can be
-refreshed directly from a benchmark run.
+the experiment registry (:mod:`repro.experiments`).  The rows produced by
+the most recent run of each benchmark are echoed to stdout (run pytest
+with ``-s`` to see them) so the EXPERIMENTS.md tables can be refreshed
+directly from a benchmark run.
 """
 
 from __future__ import annotations

@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """Adversary showdown: every protocol against every adversary it tolerates.
 
-This example exercises the whole protocol zoo:
+This example exercises the whole protocol zoo through the registries —
+protocols come from :mod:`repro.protocols.registry` (which also supplies
+each protocol's resilience bound) and adversaries are built by name through
+:mod:`repro.adversaries.registry`:
 
 * the paper's reset-tolerant algorithm against the strongly adaptive
   adversaries (benign, silencing, split-vote, adaptive-resetting);
@@ -23,33 +26,31 @@ from __future__ import annotations
 
 import random
 
-from repro import (AdaptiveResettingAdversary, BenignAdversary,
-                   BenOrAgreement, BrachaAgreement, ByzantineAdversary,
-                   CommitteeElectionProtocol, CrashAtDecisionAdversary,
-                   EquivocateStrategy, FlipValueStrategy, ProtocolFactory,
-                   ResetTolerantAgreement, SilencingAdversary,
-                   SilentStrategy, SplitVoteAdversary, StaticCrashAdversary,
-                   StepEngine, max_tolerable_t, run_execution)
+from repro import ProtocolFactory, StepEngine, get_protocol, run_execution
+from repro.adversaries.registry import build_adversary
 from repro.analysis.statistics import format_table
-from repro.protocols.committee import failure_rate
+from repro.protocols.committee import (CommitteeElectionProtocol,
+                                       failure_rate)
 from repro.workloads import split
 
 
 def reset_tolerant_rows(n: int, seed: int) -> list:
-    t = max_tolerable_t(n)
+    info = get_protocol("reset-tolerant")
+    t = info.max_faults(n)
     adversaries = {
-        "benign": BenignAdversary(),
-        "silencing": SilencingAdversary(),
-        "split-vote": SplitVoteAdversary(seed=seed),
-        "adaptive-resetting": AdaptiveResettingAdversary(seed=seed),
+        "benign": build_adversary("benign"),
+        "silencing": build_adversary("silencing"),
+        "split-vote": build_adversary("split-vote", seed=seed),
+        "adaptive-resetting": build_adversary("adaptive-resetting",
+                                              seed=seed),
     }
     rows = []
     for name, adversary in adversaries.items():
-        result = run_execution(ResetTolerantAgreement, n=n, t=t,
+        result = run_execution(info.protocol_cls, n=n, t=t,
                                inputs=split(n), adversary=adversary,
                                max_windows=100000, seed=seed)
         rows.append({
-            "protocol": "reset-tolerant",
+            "protocol": info.name,
             "fault model": "strongly adaptive (resets)",
             "adversary": name,
             "n": n, "t": t,
@@ -62,21 +63,22 @@ def reset_tolerant_rows(n: int, seed: int) -> list:
 
 
 def ben_or_rows(n: int, seed: int) -> list:
-    t = (n - 1) // 2
+    info = get_protocol("ben-or")
+    t = info.max_faults(n)
     adversaries = {
-        "crash-at-start": StaticCrashAdversary(
-            crash_schedule={0: tuple(range(t))}),
-        "crash-at-decision": CrashAtDecisionAdversary(),
-        "benign": BenignAdversary(),
+        "crash-at-start": build_adversary(
+            "static-crash", crash_schedule={0: tuple(range(t))}),
+        "crash-at-decision": build_adversary("crash-at-decision"),
+        "benign": build_adversary("benign"),
     }
     rows = []
     for name, adversary in adversaries.items():
-        result = run_execution(BenOrAgreement, n=n, t=t, inputs=split(n),
+        result = run_execution(info.protocol_cls, n=n, t=t, inputs=split(n),
                                adversary=adversary, max_windows=20000,
                                seed=seed)
         rows.append({
-            "protocol": "ben-or",
-            "fault model": "crash (t < n/2)",
+            "protocol": info.name,
+            "fault model": info.fault_model,
             "adversary": name,
             "n": n, "t": t,
             "agreement": result.agreement_ok,
@@ -88,25 +90,22 @@ def ben_or_rows(n: int, seed: int) -> list:
 
 
 def bracha_rows(n: int, seed: int) -> list:
-    t = (n - 1) // 3
-    strategies = {
-        "silent": SilentStrategy(),
-        "flip-values": FlipValueStrategy(),
-        "equivocate": EquivocateStrategy(),
-    }
+    info = get_protocol("bracha")
+    t = info.max_faults(n)
     rows = []
-    for name, strategy in strategies.items():
-        factory = ProtocolFactory(BrachaAgreement, n=n, t=t)
+    for strategy_name in ("silent", "flip", "equivocate"):
+        factory = ProtocolFactory(info.protocol_cls, n=n, t=t)
         engine = StepEngine(factory, split(n), seed=seed)
-        adversary = ByzantineAdversary(corrupted=tuple(range(t)),
-                                       strategy=strategy, seed=seed)
+        adversary = build_adversary("byzantine",
+                                    corrupted=tuple(range(t)),
+                                    strategy=strategy_name, seed=seed)
         result = engine.run(adversary, max_steps=400000, stop_when="all")
         honest = [pid for pid in range(n) if pid >= t]
         honest_values = {result.outputs[pid] for pid in honest}
         rows.append({
-            "protocol": "bracha",
-            "fault model": "Byzantine (t < n/3)",
-            "adversary": name,
+            "protocol": info.name,
+            "fault model": info.fault_model,
+            "adversary": strategy_name,
             "n": n, "t": t,
             "agreement": len({v for v in honest_values
                               if v is not None}) <= 1,

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Reproduce the exponential-slowdown claim (experiment E2) end to end.
 
-Sweeps the system size ``n`` at the Theorem 4 fault bound ``t = ⌊(n-1)/6⌋``,
-runs the reset-tolerant algorithm on split inputs against the strongly
-adaptive adversary, and compares:
+Looks experiment E2 up in the registry (``repro.experiments``), sweeps the
+system size ``n`` at the Theorem 4 fault bound ``t = ⌊(n-1)/6⌋``, runs the
+reset-tolerant algorithm on split inputs against the strongly adaptive
+adversary, and compares:
 
 * the measured mean number of acceptable windows until the first decision,
 * the analytic prediction from the binomial-tail model of
@@ -17,6 +18,9 @@ growth in ``n`` for split inputs versus a single window for unanimous
 inputs — is the paper's claim, and the exponential fit at the end makes it
 quantitative.
 
+The same sweep is available (with persistence and resume) as
+``python -m repro run E2 [--quick]``.
+
 Run with::
 
     python examples/exponential_slowdown.py [--quick]
@@ -26,9 +30,9 @@ from __future__ import annotations
 
 import argparse
 
-from repro.analysis.experiments import run_exponential_rounds_experiment
 from repro.analysis.statistics import format_table
 from repro.core.talagrand import lower_bound_constants
+from repro.experiments import get_experiment
 
 
 def main() -> None:
@@ -48,8 +52,9 @@ def main() -> None:
 
     print("E2: windows to first decision, split inputs, strongly adaptive "
           "adversary")
-    rows = run_exponential_rounds_experiment(ns=ns, trials=trials,
-                                             use_resets=True, seed=42)
+    experiment = get_experiment("E2")
+    rows = experiment.run(params={"ns": ns, "trials": trials,
+                                  "use_resets": True, "seed": 42})
     data = [row for row in rows if row["experiment"] == "E2"]
     fit = [row for row in rows if row["experiment"] == "E2-fit"]
 

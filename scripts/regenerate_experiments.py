@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Regenerate every EXPERIMENTS.md table and write them to results/.
 
-This is the non-benchmark path to the experiment tables (the benchmark
-suite runs the same functions under pytest-benchmark).  Sizes are chosen so
-the full script completes in a few minutes on a laptop.
+A thin wrapper over the unified CLI: each experiment runs through
+``python -m repro run`` (so rows land in the results store under
+``results/`` and interrupted regenerations *resume* on the next
+invocation), then the stored runs are rendered into one combined text
+file.  Sizes are chosen so the full script completes in a few minutes on
+a laptop.
 
 Run with::
 
@@ -15,97 +18,70 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 
-from repro.analysis.experiments import (run_baseline_experiment,
-                                        run_committee_experiment,
-                                        run_constants_experiment,
-                                        run_crash_forgetful_experiment,
-                                        run_exponential_rounds_experiment,
-                                        run_feasibility_experiment,
-                                        run_lower_bound_experiment,
-                                        run_threshold_ablation)
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:  # pragma: no cover - environment-dependent
+    sys.path.insert(0, _SRC)
+
+from repro import cli
 from repro.analysis.statistics import format_table
+from repro.experiments import get_experiment
+from repro.results import load_run, run_directory
+
+# (experiment, master seed, full-size parameter overrides).  The seeds and
+# the overrides reproduce this script's historical tables; quick mode uses
+# each experiment's registered quick overrides unchanged.
+PLANS = (
+    ("E1", 1, {"max_windows": 6000}),
+    ("E2", 2, {}),
+    ("E3", 3, {"separation_trials": 10}),
+    ("E4", 4, {"trials": 8}),
+    ("E5", 5, {}),
+    ("E6", 6, {"trials": 2}),
+    ("E7", 7, {"trials": 3}),
+    ("E8", 8, {}),
+)
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller sweeps (about a minute)")
+    parser.add_argument("--store", default="results",
+                        help="results-store root (default: results/)")
     parser.add_argument("--output", default="results/experiment_tables.txt")
     args = parser.parse_args()
 
-    if args.quick:
-        plans = [
-            ("E1", "Theorem 4 feasibility sweep",
-             lambda: run_feasibility_experiment(ns=(12,), trials=1,
-                                                max_windows=3000, seed=1)),
-            ("E2", "Exponential windows vs n (split inputs)",
-             lambda: run_exponential_rounds_experiment(ns=(12, 16), trials=3,
-                                                       seed=2)),
-            ("E3", "Lower-bound machinery checks",
-             lambda: run_lower_bound_experiment(ns=(8,), samples=4,
-                                                separation_trials=6, seed=3)),
-            ("E4", "Crash-model message chains (Ben-Or)",
-             lambda: run_crash_forgetful_experiment(ns=(9, 13), trials=4,
-                                                    seed=4)),
-            ("E5", "Committee election contrast",
-             lambda: run_committee_experiment(ns=(32, 64), trials=25,
-                                              seed=5)),
-            ("E6", "Baselines (Ben-Or crash, Bracha Byzantine)",
-             lambda: run_baseline_experiment(ben_or_ns=(9,), bracha_ns=(7,),
-                                             trials=1, seed=6)),
-            ("E7", "Threshold ablation",
-             lambda: run_threshold_ablation(n=18, trials=2,
-                                            max_windows=1200, seed=7)),
-            ("E8", "Theorem 5 constants + Talagrand checks",
-             lambda: run_constants_experiment(cs=(0.1, 1 / 6), ns=(50, 100),
-                                              seed=8)),
-        ]
-    else:
-        plans = [
-            ("E1", "Theorem 4 feasibility sweep",
-             lambda: run_feasibility_experiment(ns=(12, 18, 24), trials=3,
-                                                max_windows=6000, seed=1)),
-            ("E2", "Exponential windows vs n (split inputs)",
-             lambda: run_exponential_rounds_experiment(ns=(12, 16, 20, 24),
-                                                       trials=5, seed=2)),
-            ("E3", "Lower-bound machinery checks",
-             lambda: run_lower_bound_experiment(ns=(8, 12), samples=6,
-                                                separation_trials=10,
-                                                seed=3)),
-            ("E4", "Crash-model message chains (Ben-Or)",
-             lambda: run_crash_forgetful_experiment(ns=(9, 13, 17, 21),
-                                                    trials=8, seed=4)),
-            ("E5", "Committee election contrast",
-             lambda: run_committee_experiment(ns=(32, 64, 128), trials=40,
-                                              seed=5)),
-            ("E6", "Baselines (Ben-Or crash, Bracha Byzantine)",
-             lambda: run_baseline_experiment(ben_or_ns=(9, 15),
-                                             bracha_ns=(7, 10), trials=2,
-                                             seed=6)),
-            ("E7", "Threshold ablation",
-             lambda: run_threshold_ablation(n=24, trials=3,
-                                            max_windows=3000, seed=7)),
-            ("E8", "Theorem 5 constants + Talagrand checks",
-             lambda: run_constants_experiment(seed=8)),
-        ]
+    sections = []
+    for name, seed, overrides in PLANS:
+        experiment = get_experiment(name)
+        applied = {} if args.quick else overrides
+        argv = ["run", name, "--seed", str(seed), "--out", args.store]
+        if args.quick:
+            argv.append("--quick")
+        for key, value in applied.items():
+            argv.extend(["--set", f"{key}={value!r}"])
+        exit_code = cli.main(argv)
+        if exit_code != 0:
+            return exit_code
+        params = experiment.resolve_params(
+            dict(applied, seed=seed), quick=args.quick)
+        manifest, rows = load_run(
+            run_directory(args.store, experiment.name, params))
+        if experiment.finalize is not None:
+            rows = rows + experiment.finalize(rows, manifest["params"])
+        sections.append(
+            f"== {experiment.name}: {experiment.title} "
+            f"({manifest['wall_time_seconds']:.1f}s) ==\n"
+            f"{format_table(rows)}\n")
 
     os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
-    sections = []
-    for experiment_id, title, runner in plans:
-        started = time.time()
-        rows = runner()
-        elapsed = time.time() - started
-        table = format_table(rows)
-        sections.append(f"== {experiment_id}: {title} "
-                        f"({elapsed:.1f}s) ==\n{table}\n")
-        print(sections[-1])
-        sys.stdout.flush()
     with open(args.output, "w") as handle:
         handle.write("\n".join(sections))
     print(f"wrote {args.output}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -24,7 +24,13 @@ This package provides:
 * :mod:`repro.adversaries` — benign, crash, Byzantine, split-vote,
   adaptively resetting and lookahead adversaries.
 * :mod:`repro.analysis` — product-measure tools, statistics and the
-  experiment runners behind EXPERIMENTS.md.
+  backwards-compatible experiment wrappers.
+* :mod:`repro.experiments` — the declarative experiment registry behind
+  the EXPERIMENTS.md tables (E1–E8).
+* :mod:`repro.results` — the persistent, resumable results store.
+* :mod:`repro.cli` — the unified ``python -m repro`` / ``repro`` command
+  line (``list`` / ``run`` / ``show``).
+* :mod:`repro.runner` — the parallel Monte Carlo trial runner.
 * :mod:`repro.workloads` — input assignments.
 
 Quickstart::
@@ -61,7 +67,7 @@ from repro.simulation import (Configuration, ExecutionResult, Message,
                               StepEngine, WindowEngine, WindowSpec,
                               run_execution)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveResettingAdversary",

@@ -1,66 +1,40 @@
-"""Experiment runners: one function per experiment in EXPERIMENTS.md.
+"""Backwards-compatible wrappers over the experiment registry.
 
-Every function returns a list of flat dictionaries (table rows).  The
-benchmark harness wraps these functions with pytest-benchmark; the examples
-print them with :func:`repro.analysis.statistics.format_table`.  Trial
-counts and system sizes are parameters so that quick smoke runs and full
-reproductions use the same code path.
+Each experiment of EXPERIMENTS.md used to be a hand-rolled function here;
+they now live as declarative :class:`~repro.experiments.base.Experiment`
+definitions in :mod:`repro.experiments.definitions`, registered by name in
+:mod:`repro.experiments.registry` and all sharing one grid-expansion path
+over :mod:`repro.runner`.  These wrappers keep the historical signatures
+(and, at a fixed master seed, the **bit-identical rows** — pinned by
+``tests/test_experiments_golden.py``) for callers that predate the
+registry.
 
-The Monte Carlo experiments (E1, E2, E4, E6, E7) describe every trial as a
-picklable :class:`~repro.runner.spec.TrialSpec` and hand the whole batch to
-:mod:`repro.runner`, which fans trials out across worker processes (control
-the worker count with the ``workers`` argument or ``$REPRO_WORKERS``;
-``workers=0`` forces the serial in-process path).  Per-trial seeds are drawn
-from the master-seeded stream in the same order the original serial loops
-drew them, so rows are bit-identical across worker counts — and to the
-pre-runner versions of these functions at the same master seed.
+New code should use the registry directly::
+
+    from repro.experiments import get_experiment
+
+    rows = get_experiment("E2").run(params={"ns": (12, 16)}, workers=4)
+
+or the CLI: ``python -m repro run E2 --quick``.  The Monte Carlo
+experiments (E1, E2, E4, E6, E7) fan their trials out across worker
+processes; control the worker count with the ``workers`` argument or
+``$REPRO_WORKERS`` (``workers=0`` forces the serial in-process path).
+Per-trial seeds are drawn from the master-seeded stream before any trial
+executes, so rows are bit-identical across worker counts.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Any, Dict, List, Optional, Sequence, Tuple
-
-from repro.core.analysis import split_vote_analysis
-from repro.core.lower_bound import lower_bound_report
-from repro.core.reset_tolerant import ResetTolerantAgreement
-from repro.core.talagrand import lower_bound_constants
-from repro.core.thresholds import (default_thresholds, max_tolerable_t,
-                                   threshold_grid)
-from repro.analysis.product_measure import (ProductDistribution,
-                                            verify_talagrand)
-from repro.analysis.statistics import (fit_exponential, summarize_trials)
-from repro.protocols.ben_or import BenOrAgreement
-from repro.protocols.committee import CommitteeElectionProtocol, failure_rate
-from repro.runner import (TrialSpec, correctness_flags, group_by_tag,
-                          measure, message_chain_length, run_trials,
-                          windows_to_first_decision)
-from repro.workloads.inputs import split, standard_workloads, unanimous
+from typing import Dict, List, Optional, Sequence
 
 
-# ----------------------------------------------------------------------
-# E1: Theorem 4 feasibility — correctness and termination sweep.
-# ----------------------------------------------------------------------
-def _seeded_kwargs(rng: random.Random, extra: Optional[Dict] = None) -> Dict:
-    """Adversary kwargs with a freshly drawn 32-bit seed."""
-    kwargs: Dict[str, Any] = {"seed": rng.getrandbits(32)}
-    if extra:
-        kwargs.update(extra)
-    return kwargs
+def _run(name: str, params: Dict, workers: Optional[int] = None) -> List[Dict]:
+    # Imported lazily: repro.experiments imports repro.analysis.statistics,
+    # so a module-level import here would be circular when this module is
+    # reached first through the repro.analysis package init.
+    from repro.experiments import get_experiment
 
-
-# The strongly adaptive adversary battery of E1: display name ->
-# (registry name, kwargs builder).  Builders draw from the experiment's
-# master-seeded stream exactly when a trial is described, preserving the
-# historical draw order.
-_E1_ADVERSARIES: Tuple[Tuple[str, str, Any], ...] = (
-    ("benign", "benign", None),
-    ("random", "random-scheduler",
-     lambda rng: _seeded_kwargs(rng, {"reset_probability": 0.5})),
-    ("silencing", "silencing", None),
-    ("split-vote", "split-vote", _seeded_kwargs),
-    ("adaptive-resetting", "adaptive-resetting", _seeded_kwargs),
-)
+    return get_experiment(name).run(params=params, workers=workers)
 
 
 def run_feasibility_experiment(ns: Sequence[int] = (12, 18, 24),
@@ -68,57 +42,11 @@ def run_feasibility_experiment(ns: Sequence[int] = (12, 18, 24),
                                max_windows: int = 60000,
                                seed: int = 0,
                                workers: Optional[int] = None) -> List[Dict]:
-    """Correctness/termination of the reset-tolerant algorithm (E1).
-
-    For every ``n`` (with ``t`` the largest value admitted by Theorem 4),
-    every standard workload and a battery of strongly adaptive adversaries,
-    runs several executions and reports whether agreement, validity and
-    termination held.
-    """
-    rng = random.Random(seed)
-    specs: List[TrialSpec] = []
-    cells: List[Dict] = []
-    for n in ns:
-        t = max_tolerable_t(n)
-        for workload_name, inputs in standard_workloads(
-                n, seed=rng.getrandbits(32)).items():
-            for display_name, adversary, kwargs_builder in _E1_ADVERSARIES:
-                tag = ("E1", n, workload_name, display_name)
-                for _ in range(trials):
-                    specs.append(TrialSpec(
-                        protocol="reset-tolerant", adversary=adversary,
-                        n=n, t=t, inputs=tuple(inputs),
-                        adversary_kwargs=(kwargs_builder(rng)
-                                          if kwargs_builder else {}),
-                        seed=rng.getrandbits(32), max_windows=max_windows,
-                        stop_when="all", tag=tag))
-                cells.append({"tag": tag, "n": n, "t": t,
-                              "workload": workload_name,
-                              "adversary": display_name})
-    grouped = group_by_tag(specs, run_trials(specs, workers=workers))
-    rows: List[Dict] = []
-    for cell in cells:
-        results = grouped[cell["tag"]]
-        agreement_ok, validity_ok, terminated = correctness_flags(results)
-        windows_used = [result.windows_elapsed for result in results]
-        rows.append({
-            "experiment": "E1",
-            "n": cell["n"],
-            "t": cell["t"],
-            "workload": cell["workload"],
-            "adversary": cell["adversary"],
-            "agreement_ok": agreement_ok,
-            "validity_ok": validity_ok,
-            "terminated": terminated,
-            "mean_windows": sum(windows_used) / len(windows_used),
-            "max_windows_observed": max(windows_used),
-        })
-    return rows
+    """Correctness/termination of the reset-tolerant algorithm (E1)."""
+    return _run("E1", {"ns": tuple(ns), "trials": trials,
+                       "max_windows": max_windows, "seed": seed}, workers)
 
 
-# ----------------------------------------------------------------------
-# E2: exponential running time against the split-vote adversary.
-# ----------------------------------------------------------------------
 def run_exponential_rounds_experiment(ns: Sequence[int] = (12, 16, 20, 24),
                                       trials: int = 5,
                                       max_windows: int = 200000,
@@ -126,125 +54,22 @@ def run_exponential_rounds_experiment(ns: Sequence[int] = (12, 16, 20, 24),
                                       seed: int = 0,
                                       workers: Optional[int] = None
                                       ) -> List[Dict]:
-    """Windows until first decision under the blocking adversary (E2).
-
-    Also reports the analytic prediction of
-    :func:`repro.core.analysis.split_vote_analysis` and, in the final
-    synthetic row, the exponential fit of measured means against ``n``.
-    """
-    rng = random.Random(seed)
-    adversary = "adaptive-resetting" if use_resets else "split-vote"
-    specs: List[TrialSpec] = []
-    cells: List[Dict] = []
-    for n in ns:
-        t = max_tolerable_t(n)
-        if t == 0:
-            continue
-        thresholds = default_thresholds(n, t)
-        analytic = split_vote_analysis(thresholds)
-        inputs = split(n)
-        for _ in range(trials):
-            specs.append(TrialSpec(
-                protocol="reset-tolerant", adversary=adversary,
-                n=n, t=t, inputs=tuple(inputs),
-                adversary_kwargs=_seeded_kwargs(rng),
-                seed=rng.getrandbits(32), max_windows=max_windows,
-                stop_when="first", tag=("E2", n, "split")))
-            specs.append(TrialSpec(
-                protocol="reset-tolerant", adversary="split-vote",
-                n=n, t=t, inputs=tuple(unanimous(n, 1)),
-                adversary_kwargs=_seeded_kwargs(rng),
-                seed=rng.getrandbits(32), max_windows=max_windows,
-                stop_when="first", tag=("E2", n, "unanimous")))
-        cells.append({"n": n, "t": t,
-                      "analytic_windows": analytic.expected_windows})
-    grouped = group_by_tag(specs, run_trials(specs, workers=workers))
-    rows: List[Dict] = []
-    means: List[float] = []
-    used_ns: List[int] = []
-    for cell in cells:
-        n = cell["n"]
-        windows = measure(grouped[("E2", n, "split")],
-                          windows_to_first_decision)
-        unanimous_windows = measure(grouped[("E2", n, "unanimous")],
-                                    windows_to_first_decision)
-        summary = summarize_trials(windows)
-        means.append(summary.mean)
-        used_ns.append(n)
-        rows.append({
-            "experiment": "E2",
-            "n": n,
-            "t": cell["t"],
-            "inputs": "split",
-            "trials": trials,
-            "mean_windows": summary.mean,
-            "median_windows": summary.median,
-            "max_windows": summary.maximum,
-            "analytic_expected_windows": cell["analytic_windows"],
-            "unanimous_mean_windows":
-                sum(unanimous_windows) / len(unanimous_windows),
-            "fit_growth_rate_per_processor": None,
-            "fit_r_squared": None,
-        })
-    if len(means) >= 2:
-        fit = fit_exponential(used_ns, means)
-        rows.append({
-            "experiment": "E2-fit",
-            "n": None,
-            "t": None,
-            "inputs": "split",
-            "trials": trials,
-            "mean_windows": None,
-            "median_windows": None,
-            "max_windows": None,
-            "analytic_expected_windows": None,
-            "unanimous_mean_windows": None,
-            "fit_growth_rate_per_processor": fit.b,
-            "fit_r_squared": fit.r_squared,
-        })
-    return rows
+    """Windows until first decision under the blocking adversary (E2)."""
+    return _run("E2", {"ns": tuple(ns), "trials": trials,
+                       "max_windows": max_windows, "use_resets": use_resets,
+                       "seed": seed}, workers)
 
 
-# ----------------------------------------------------------------------
-# E3: lower-bound machinery checks (Lemmas 9, 11, 14 and Theorem 5 inputs).
-# ----------------------------------------------------------------------
 def run_lower_bound_experiment(ns: Sequence[int] = (8, 12),
                                samples: int = 6,
                                separation_trials: int = 8,
                                seed: int = 0) -> List[Dict]:
     """Numerical checks of the Theorem 5 machinery at small ``n`` (E3)."""
-    rng = random.Random(seed)
-    rows: List[Dict] = []
-    for n in ns:
-        t = max_tolerable_t(n)
-        if t == 0:
-            continue
-        report = lower_bound_report(
-            ResetTolerantAgreement, n=n, t=t, samples=samples,
-            separation_trials=separation_trials, seed=rng.getrandbits(32))
-        rows.append({
-            "experiment": "E3",
-            "n": n,
-            "t": t,
-            "decision_set_min_distance": report.separation.min_distance,
-            "required_separation": report.separation.required,
-            "separation_holds": report.separation.satisfied,
-            "tau": report.tau,
-            "hybrid_best_j": report.hybrid_best.j,
-            "hybrid_best_worst_probability": report.hybrid_best.worst,
-            "endpoint_worst_probability": report.endpoint_worst,
-            "balanced_inputs_ones": sum(report.balanced_inputs.inputs),
-            "balanced_zero_probability":
-                report.balanced_inputs.zero_probability,
-            "balanced_one_probability":
-                report.balanced_inputs.one_probability,
-        })
-    return rows
+    return _run("E3", {"ns": tuple(ns), "samples": samples,
+                       "separation_trials": separation_trials,
+                       "seed": seed})
 
 
-# ----------------------------------------------------------------------
-# E4: crash-model lower bound on forgetful, fully communicative algorithms.
-# ----------------------------------------------------------------------
 def run_crash_forgetful_experiment(ns: Sequence[int] = (9, 13, 17, 21),
                                    trials: int = 10,
                                    fault_fraction: float = 0.25,
@@ -253,111 +78,20 @@ def run_crash_forgetful_experiment(ns: Sequence[int] = (9, 13, 17, 21),
                                    workers: Optional[int] = None
                                    ) -> List[Dict]:
     """Message-chain length of Ben-Or under the crash-model adversary (E4)."""
-    rng = random.Random(seed)
-    specs: List[TrialSpec] = []
-    cells: List[Dict] = []
-    for n in ns:
-        t = max(1, int(fault_fraction * n))
-        if t >= n / 2:
-            t = (n - 1) // 2
-        inputs = split(n)
-        for _ in range(trials):
-            specs.append(TrialSpec(
-                protocol="ben-or", adversary="crash-split-vote",
-                n=n, t=t, inputs=tuple(inputs),
-                adversary_kwargs=_seeded_kwargs(rng),
-                seed=rng.getrandbits(32), max_windows=max_windows,
-                stop_when="first", tag=("E4", n)))
-        cells.append({"n": n, "t": t})
-    grouped = group_by_tag(specs, run_trials(specs, workers=workers))
-    rows: List[Dict] = []
-    means: List[float] = []
-    used_ns: List[int] = []
-    for cell in cells:
-        n, t = cell["n"], cell["t"]
-        results = grouped[("E4", n)]
-        chains = measure(results, message_chain_length)
-        windows = measure(results, windows_to_first_decision)
-        chain_summary = summarize_trials(chains)
-        means.append(chain_summary.mean)
-        used_ns.append(n)
-        rows.append({
-            "experiment": "E4",
-            "protocol": "ben-or",
-            "n": n,
-            "t": t,
-            "trials": trials,
-            "mean_message_chain": chain_summary.mean,
-            "max_message_chain": chain_summary.maximum,
-            "mean_windows": sum(windows) / len(windows),
-            "forgetful": BenOrAgreement.forgetful,
-            "fully_communicative": BenOrAgreement.fully_communicative,
-            "fit_growth_rate_per_processor": None,
-            "fit_r_squared": None,
-        })
-    if len(means) >= 2:
-        fit = fit_exponential(used_ns, means)
-        rows.append({
-            "experiment": "E4-fit",
-            "protocol": "ben-or",
-            "n": None,
-            "t": None,
-            "trials": trials,
-            "mean_message_chain": None,
-            "max_message_chain": None,
-            "mean_windows": None,
-            "forgetful": True,
-            "fully_communicative": True,
-            "fit_growth_rate_per_processor": fit.b,
-            "fit_r_squared": fit.r_squared,
-        })
-    return rows
+    return _run("E4", {"ns": tuple(ns), "trials": trials,
+                       "fault_fraction": fault_fraction,
+                       "max_windows": max_windows, "seed": seed}, workers)
 
 
-# ----------------------------------------------------------------------
-# E5: contrast with committee election (fast but non-adaptive, fallible).
-# ----------------------------------------------------------------------
 def run_committee_experiment(ns: Sequence[int] = (32, 64, 128),
                              trials: int = 40,
                              fault_fraction: float = 0.2,
                              seed: int = 0) -> List[Dict]:
     """Committee election versus the adaptive-safe algorithm (E5)."""
-    rng = random.Random(seed)
-    rows: List[Dict] = []
-    for n in ns:
-        t = max(1, int(fault_fraction * n))
-        protocol = CommitteeElectionProtocol(n=n, t=t)
-        inputs = split(n)
-        nonadaptive_failures = failure_rate(protocol, inputs, trials=trials,
-                                            adaptive=False,
-                                            seed=rng.getrandbits(32))
-        adaptive_failures = failure_rate(protocol, inputs, trials=trials,
-                                         adaptive=True,
-                                         seed=rng.getrandbits(32))
-        sample = protocol.run(inputs, adaptive=False,
-                              seed=rng.getrandbits(32))
-        # The adaptive-safe alternative: the reset-tolerant algorithm's
-        # analytic expected windows at the Theorem 4 fault bound.
-        rt_t = max_tolerable_t(n)
-        analytic_windows = (split_vote_analysis(default_thresholds(n, rt_t))
-                            .expected_windows if rt_t > 0 else float("nan"))
-        rows.append({
-            "experiment": "E5",
-            "n": n,
-            "t": t,
-            "committee_size": protocol.committee_size,
-            "committee_rounds": sample.communication_rounds,
-            "committee_layers": sample.layers,
-            "nonadaptive_failure_rate": nonadaptive_failures,
-            "adaptive_failure_rate": adaptive_failures,
-            "adaptive_safe_expected_windows": analytic_windows,
-        })
-    return rows
+    return _run("E5", {"ns": tuple(ns), "trials": trials,
+                       "fault_fraction": fault_fraction, "seed": seed})
 
 
-# ----------------------------------------------------------------------
-# E6: baseline protocols at their classical resilience bounds.
-# ----------------------------------------------------------------------
 def run_baseline_experiment(ben_or_ns: Sequence[int] = (9, 15),
                             bracha_ns: Sequence[int] = (7, 10),
                             trials: int = 3,
@@ -366,196 +100,26 @@ def run_baseline_experiment(ben_or_ns: Sequence[int] = (9, 15),
                             seed: int = 0,
                             workers: Optional[int] = None) -> List[Dict]:
     """Ben-Or under crash failures and Bracha under Byzantine failures (E6)."""
-    rng = random.Random(seed)
-    specs: List[TrialSpec] = []
-    cells: List[Dict] = []
-    for n in ben_or_ns:
-        t = (n - 1) // 2
-        adversaries = (
-            ("benign", "benign", None),
-            ("crash-at-start", "static-crash",
-             lambda rng, t=t: {"crash_schedule": {0: tuple(range(t))}}),
-            ("crash-at-decision", "crash-at-decision", None),
-            ("random", "random-scheduler", _seeded_kwargs),
-        )
-        for workload_name, inputs in (("split", split(n)),
-                                      ("unanimous-1", unanimous(n, 1))):
-            for display_name, adversary, kwargs_builder in adversaries:
-                tag = ("E6", "ben-or", n, workload_name, display_name)
-                for _ in range(trials):
-                    specs.append(TrialSpec(
-                        protocol="ben-or", adversary=adversary,
-                        n=n, t=t, inputs=tuple(inputs),
-                        adversary_kwargs=(kwargs_builder(rng)
-                                          if kwargs_builder else {}),
-                        seed=rng.getrandbits(32), max_windows=max_windows,
-                        stop_when="all", tag=tag))
-                cells.append({"tag": tag, "protocol": "ben-or", "n": n,
-                              "t": t, "workload": workload_name,
-                              "adversary": display_name})
-    for n in bracha_ns:
-        t = (n - 1) // 3
-        for workload_name, inputs in (("split", split(n)),
-                                      ("unanimous-0", unanimous(n, 0))):
-            for strategy_name in ("silent", "flip", "equivocate",
-                                  "random-values"):
-                tag = ("E6", "bracha", n, workload_name, strategy_name)
-                for _ in range(trials):
-                    engine_seed = rng.getrandbits(32)
-                    specs.append(TrialSpec(
-                        protocol="bracha", adversary="byzantine",
-                        n=n, t=t, inputs=tuple(inputs), seed=engine_seed,
-                        adversary_kwargs={"corrupted": tuple(range(t)),
-                                          "strategy": strategy_name,
-                                          "seed": rng.getrandbits(32)},
-                        engine="step", max_steps=max_steps,
-                        stop_when="all", tag=tag))
-                cells.append({"tag": tag, "protocol": "bracha", "n": n,
-                              "t": t, "workload": workload_name,
-                              "adversary": strategy_name})
-    grouped = group_by_tag(specs, run_trials(specs, workers=workers))
-    rows: List[Dict] = []
-    for cell in cells:
-        results = grouped[cell["tag"]]
-        if cell["protocol"] == "ben-or":
-            agreement_ok, validity_ok, terminated = correctness_flags(results)
-            windows_used = [result.windows_elapsed for result in results]
-            mean_windows: Optional[float] = \
-                sum(windows_used) / len(windows_used)
-        else:
-            # Byzantine runs judge correctness over the honest processors
-            # only: corrupted ones may "decide" anything.
-            t = cell["t"]
-            agreement_ok = validity_ok = terminated = True
-            mean_windows = None
-            for result in results:
-                honest = range(t, result.n)
-                honest_outputs = {result.outputs[pid] for pid in honest}
-                honest_values = {value for value in honest_outputs
-                                 if value is not None}
-                honest_inputs = {result.inputs[pid] for pid in honest}
-                agreement_ok &= len(honest_values) <= 1
-                validity_ok &= honest_values.issubset(honest_inputs) \
-                    or not honest_values
-                terminated &= None not in honest_outputs
-        rows.append({
-            "experiment": "E6",
-            "protocol": cell["protocol"],
-            "n": cell["n"],
-            "t": cell["t"],
-            "workload": cell["workload"],
-            "adversary": cell["adversary"],
-            "agreement_ok": agreement_ok,
-            "validity_ok": validity_ok,
-            "terminated": terminated,
-            "mean_windows": mean_windows,
-        })
-    return rows
+    return _run("E6", {"ben_or_ns": tuple(ben_or_ns),
+                       "bracha_ns": tuple(bracha_ns), "trials": trials,
+                       "max_windows": max_windows, "max_steps": max_steps,
+                       "seed": seed}, workers)
 
 
-# ----------------------------------------------------------------------
-# E7: threshold ablation.
-# ----------------------------------------------------------------------
 def run_threshold_ablation(n: int = 24, trials: int = 4,
                            max_windows: int = 3000,
                            seed: int = 0,
                            workers: Optional[int] = None) -> List[Dict]:
     """Effect of violating each Theorem 4 threshold constraint (E7)."""
-    rng = random.Random(seed)
-    t = max_tolerable_t(n)
-    specs: List[TrialSpec] = []
-    cells: List[Dict] = []
-    # The grid can contain duplicate (T1, T2, T3) configurations, so the
-    # tag carries the grid index to keep their cells separate.
-    for config_index, config in enumerate(threshold_grid(n, t)):
-        for adversary in ("split-vote", "polarizing", "adaptive-resetting"):
-            tag = ("E7", config_index, adversary)
-            for _ in range(trials):
-                specs.append(TrialSpec(
-                    protocol="reset-tolerant", adversary=adversary,
-                    n=n, t=t, inputs=tuple(split(n)),
-                    adversary_kwargs=_seeded_kwargs(rng),
-                    protocol_kwargs={"thresholds": config,
-                                     "validate_thresholds": False},
-                    seed=rng.getrandbits(32), max_windows=max_windows,
-                    stop_when="all", tag=tag))
-            cells.append({"tag": tag, "config": config,
-                          "adversary": adversary})
-    grouped = group_by_tag(specs, run_trials(specs, workers=workers))
-    rows: List[Dict] = []
-    for cell in cells:
-        config = cell["config"]
-        results = grouped[cell["tag"]]
-        violations = config.violations()
-        agreement_ok, validity_ok, _ = correctness_flags(results)
-        windows_used = [result.windows_elapsed for result in results]
-        rows.append({
-            "experiment": "E7",
-            "n": n,
-            "t": t,
-            "T1": config.t1,
-            "T2": config.t2,
-            "T3": config.t3,
-            "constraints_ok": config.valid,
-            "violated": "; ".join(violations) if violations else "-",
-            "adversary": cell["adversary"],
-            "agreement_ok": agreement_ok,
-            "validity_ok": validity_ok,
-            "decided_runs": sum(int(result.decided) for result in results),
-            "trials": trials,
-            "mean_windows": sum(windows_used) / len(windows_used),
-        })
-    return rows
+    return _run("E7", {"n": n, "trials": trials,
+                       "max_windows": max_windows, "seed": seed}, workers)
 
 
-# ----------------------------------------------------------------------
-# E8: lower-bound constants and Talagrand spot checks.
-# ----------------------------------------------------------------------
 def run_constants_experiment(cs: Sequence[float] = (0.05, 0.1, 1.0 / 6.0),
                              ns: Sequence[int] = (50, 100, 200, 400),
                              seed: int = 0) -> List[Dict]:
     """Theorem 5 constants and a numerical Talagrand verification (E8)."""
-    rows: List[Dict] = []
-    for c in cs:
-        constants = lower_bound_constants(c)
-        for n in ns:
-            rows.append({
-                "experiment": "E8",
-                "c": round(c, 4),
-                "n": n,
-                "alpha": constants.alpha,
-                "C": constants.big_c,
-                "predicted_windows": constants.predicted_windows(n),
-                "success_probability": constants.success_probability(n),
-                "set": None,
-                "radius": None,
-                "P[A]*(1-P[B(A,d)])": None,
-                "talagrand_bound": None,
-                "inequality_holds": None,
-            })
-    # Talagrand spot check on a concrete product space: n fair coins, the
-    # set A of points with at most k ones, radius d.
-    rng = random.Random(seed)
-    for n, k, d in ((10, 2, 3), (11, 3, 4), (12, 3, 4)):
-        distribution = ProductDistribution.uniform_bits(n)
-        points = [point for point, _ in distribution.enumerate_support()
-                  if sum(point) <= k]
-        check = verify_talagrand(distribution, points, radius=d, exact=True)
-        rows.append({
-            "experiment": "E8-talagrand",
-            "c": None,
-            "n": n,
-            "alpha": None,
-            "C": None,
-            "predicted_windows": None,
-            "success_probability": None,
-            "set": f"at most {k} ones",
-            "radius": d,
-            "P[A]*(1-P[B(A,d)])": check.product,
-            "talagrand_bound": check.bound,
-            "inequality_holds": check.satisfied,
-        })
-    return rows
+    return _run("E8", {"cs": tuple(cs), "ns": tuple(ns), "seed": seed})
 
 
 __all__ = [

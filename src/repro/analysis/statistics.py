@@ -135,8 +135,8 @@ def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None
                  ) -> str:
     """Render a list of dict rows as a fixed-width text table.
 
-    Used by the examples and the benchmark harness to print the
-    EXPERIMENTS.md-style tables.
+    Used by the CLI, the examples and the benchmark harness to print the
+    experiment tables documented in EXPERIMENTS.md.
     """
     if not rows:
         return "(no rows)"

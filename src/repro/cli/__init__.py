@@ -1,0 +1,289 @@
+"""The unified ``repro`` command line: one entry point for every experiment.
+
+Subcommands::
+
+    repro list [--doc]
+        List the registered experiments; ``--doc`` emits the generated
+        EXPERIMENTS.md document to stdout.
+
+    repro run {EXPERIMENT ... | --all} [--quick] [--workers N]
+              [--out DIR | --no-store] [--seed N] [--set key=value ...]
+        Run experiments through the registry.  By default every run is
+        persisted to the results store under ``--out`` (``results/``), so
+        rerunning the same configuration *resumes*: cells whose rows are
+        already stored are skipped.
+
+    repro show {RUN_DIR | EXPERIMENT} [--out DIR]
+        Render a stored run (a run directory, or the latest stored run of
+        an experiment) as a table.
+
+Works both as ``python -m repro ...`` from a source checkout and as the
+installed ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.statistics import format_table
+from repro.experiments import available_experiments, get_experiment
+from repro.experiments.base import Experiment
+from repro.results import RunStore, latest_run, load_run
+
+DEFAULT_OUT = "results"
+
+_DOC_PREAMBLE = """\
+# EXPERIMENTS
+
+<!-- Generated from the experiment registry by
+     `python -m repro list --doc`.  Do not edit by hand: the test
+     tests/test_cli.py::test_experiments_md_in_sync regenerates this
+     document and compares it against the checked-in file. -->
+
+The reproduction's eight experiments, one table each, all defined in
+`repro.experiments.definitions` and run through the single grid-expansion
+path of `repro.experiments.base.Experiment.run`.
+
+Common front ends:
+
+- `python -m repro list` — what is registered.
+- `python -m repro run E2 --quick` — run one experiment (quick-sized);
+  rows stream into the results store under `results/` and a rerun of the
+  same configuration resumes instead of recomputing.
+- `python -m repro run --all` — regenerate every table at full size.
+- `python -m repro show E2` — render the latest stored run.
+- `benchmarks/` — the same experiments under pytest-benchmark.
+- `repro.analysis.experiments.run_*` — backwards-compatible function
+  wrappers (rows bit-identical to the registry path at equal seeds).
+
+Each experiment's *default parameters* are the paper-size sweep; the
+*quick overrides* are what `--quick` changes.  Every parameter can be set
+from the CLI with `--set key=value`.
+"""
+
+
+def render_registry_doc() -> str:
+    """EXPERIMENTS.md, generated from the experiment registry."""
+    sections = [_DOC_PREAMBLE]
+    for experiment in available_experiments():
+        sections.append("\n".join([
+            f"## {experiment.name} — {experiment.title}",
+            "",
+            experiment.description,
+            "",
+            f"- **Alias:** `{experiment.slug}`",
+            f"- **Monte Carlo fan-out via `repro.runner`:** "
+            f"{'yes' if experiment.parallel else 'no (analytic)'}",
+            f"- **Default parameters:** {_format_params(experiment.defaults)}",
+            f"- **Quick overrides:** "
+            f"{_format_params(experiment.quick_overrides)}",
+            f"- **Row columns:** {_format_columns(experiment.row_schema)}",
+        ]))
+    return "\n\n".join(sections) + "\n"
+
+
+def _format_params(params: Mapping[str, Any]) -> str:
+    if not params:
+        return "(none)"
+    return ", ".join(f"`{key}={value!r}`" for key, value in params.items())
+
+
+def _format_columns(columns: Sequence[str]) -> str:
+    return ", ".join(f"`{column}`" for column in columns)
+
+
+def _parse_set(assignments: Sequence[str]) -> Dict[str, Any]:
+    """``--set key=value`` overrides; values parse as Python literals."""
+    overrides: Dict[str, Any] = {}
+    for assignment in assignments:
+        key, separator, raw = assignment.partition("=")
+        if not separator or not key:
+            raise ValueError(
+                f"--set expects key=value, got {assignment!r}")
+        try:
+            overrides[key] = ast.literal_eval(raw)
+        except (SyntaxError, ValueError):
+            raise ValueError(
+                f"--set {key}: {raw!r} is not a Python literal "
+                f"(quote strings explicitly, e.g. {key}='{raw}')") from None
+    return overrides
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.doc:
+        sys.stdout.write(render_registry_doc())
+        return 0
+    rows = [{"name": experiment.name, "alias": experiment.slug,
+             "title": experiment.title,
+             "parallel": "yes" if experiment.parallel else "no"}
+            for experiment in available_experiments()]
+    print(format_table(rows))
+    print("\nRun one with: python -m repro run <NAME> [--quick]")
+    return 0
+
+
+def _resolve_run_params(experiment: Experiment,
+                        args: argparse.Namespace) -> Dict[str, Any]:
+    overrides = _parse_set(args.set or [])
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return experiment.resolve_params(overrides or None, quick=args.quick)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.all:
+        names = [experiment.name for experiment in available_experiments()]
+    elif args.experiments:
+        names = args.experiments
+    else:
+        print("repro run: name at least one experiment, or pass --all",
+              file=sys.stderr)
+        return 2
+    exit_code = 0
+    for name in names:
+        try:
+            experiment = get_experiment(name)
+            params = _resolve_run_params(experiment, args)
+        except (KeyError, ValueError) as error:
+            # Report and keep going: in a multi-experiment run the other
+            # experiments still regenerate (and persist) their tables.
+            exit_code = _usage_error("run", error)
+            continue
+        store: Optional[RunStore] = None
+        cached = 0
+        if not args.no_store:
+            store = RunStore.open(args.out, experiment.name, params,
+                                  workers=args.workers)
+            cached = store.row_count
+        was_complete = (store is not None
+                        and bool(store.manifest.get("completed")))
+        started = time.time()
+        rows = experiment.run(params=params, workers=args.workers,
+                              store=store)
+        wall_time = time.time() - started
+        header = f"== {experiment.name}: {experiment.title} " \
+                 f"({wall_time:.1f}s"
+        if store is not None:
+            computed = store.row_count - cached
+            if computed or not was_complete:
+                # A fully-cached rerun computes nothing: keep the stored
+                # wall time instead of clobbering it with ~0s.
+                store.finish(wall_time)
+            header += f"; {cached} cached + {computed} computed cells " \
+                      f"-> {store.path}"
+        header += ") =="
+        print(header)
+        print(format_table(rows))
+        print()
+    return exit_code
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    target = args.target
+    if os.path.isdir(target):
+        run_dir = target
+        if not os.path.isfile(os.path.join(run_dir, "manifest.json")):
+            return _usage_error("show", ValueError(
+                f"{target!r} is not a run directory (no manifest.json); "
+                f"pass a results/<EXPERIMENT>/<digest> directory or an "
+                f"experiment name"))
+    else:
+        try:
+            experiment = get_experiment(target)
+        except KeyError as error:
+            return _usage_error("show", error)
+        found = latest_run(args.out, experiment.name)
+        if found is None:
+            print(f"no stored runs of {experiment.name} under {args.out!r}; "
+                  f"run `python -m repro run {experiment.name}` first",
+                  file=sys.stderr)
+            return 1
+        run_dir = found
+    manifest, rows = load_run(run_dir)
+    experiment = get_experiment(manifest["experiment"])
+    if experiment.finalize is not None:
+        rows = rows + experiment.finalize(rows, manifest["params"])
+    status = "complete" if manifest.get("completed") else "partial"
+    wall = manifest.get("wall_time_seconds")
+    print(f"== {manifest['experiment']} run {os.path.basename(run_dir)} "
+          f"({status}, {manifest['row_count']} stored rows"
+          + (f", {wall:.1f}s" if wall is not None else "")
+          + f", seed {manifest.get('seed')}, "
+          f"v{manifest.get('package_version')}) ==")
+    print(f"params: {manifest['params']}")
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's experiment tables through the "
+                    "declarative experiment registry.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list registered experiments")
+    list_parser.add_argument(
+        "--doc", action="store_true",
+        help="emit the generated EXPERIMENTS.md document")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run experiments through the registry")
+    run_parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help="experiment names or aliases (e.g. E2, feasibility)")
+    run_parser.add_argument("--all", action="store_true",
+                            help="run every registered experiment")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="apply the quick (smoke-sized) overrides")
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="worker processes (0 = serial; default: "
+                                 "$REPRO_WORKERS or the CPU count)")
+    run_parser.add_argument("--out", default=DEFAULT_OUT,
+                            help="results-store root (default: results/)")
+    run_parser.add_argument("--no-store", action="store_true",
+                            help="print tables only, persist nothing")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="override the master seed")
+    run_parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                            help="override one experiment parameter "
+                                 "(repeatable; value is a Python literal)")
+    run_parser.set_defaults(func=_cmd_run)
+
+    show_parser = subparsers.add_parser(
+        "show", help="render a stored run as a table")
+    show_parser.add_argument(
+        "target",
+        help="a run directory, or an experiment name (latest stored run)")
+    show_parser.add_argument("--out", default=DEFAULT_OUT,
+                             help="results-store root searched for "
+                                  "experiment names (default: results/)")
+    show_parser.set_defaults(func=_cmd_show)
+    return parser
+
+
+def _usage_error(command: str, error: Exception) -> int:
+    """Report a bad name/parameter and return the usage-error exit code.
+
+    Only argument interpretation is caught this way; internal failures
+    propagate with their tracebacks.
+    """
+    message = error.args[0] if error.args else str(error)
+    print(f"repro {command}: {message}", file=sys.stderr)
+    return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+__all__ = ["main", "build_parser", "render_registry_doc"]

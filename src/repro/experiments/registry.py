@@ -1,0 +1,55 @@
+"""The experiment registry, mirroring the protocol/adversary registries.
+
+Experiments are registered under their canonical EXPERIMENTS.md name
+("E1" ... "E8") and additionally resolvable by slug ("feasibility",
+"exponential-rounds", ...).  Lookups are case-insensitive, so
+``repro run e2`` works from the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.base import Experiment
+from repro.experiments.definitions import EXPERIMENTS
+
+_REGISTRY: Dict[str, Experiment] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register(experiment: Experiment) -> None:
+    """Add an experiment to the registry (name and slug must be free)."""
+    for key in (experiment.name.lower(), experiment.slug.lower()):
+        if key in _REGISTRY or key in _ALIASES:
+            raise ValueError(f"experiment key {key!r} already registered")
+    _REGISTRY[experiment.name.lower()] = experiment
+    _ALIASES[experiment.slug.lower()] = experiment.name.lower()
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up an experiment by canonical name or slug.
+
+    Raises:
+        KeyError: with the list of known names, when the name is unknown.
+    """
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(experiment.name
+                          for experiment in available_experiments())
+        raise KeyError(
+            f"unknown experiment {name!r}; known experiments: {known}")
+
+
+def available_experiments() -> List[Experiment]:
+    """All registered experiments, in registration (E1..E8) order."""
+    return list(_REGISTRY.values())
+
+
+for _experiment in EXPERIMENTS:
+    register(_experiment)
+
+
+__all__ = ["register", "get_experiment", "available_experiments"]

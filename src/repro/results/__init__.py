@@ -1,0 +1,24 @@
+"""Persistent, resumable experiment results.
+
+One run = one content-addressed directory holding a ``manifest.json``
+(experiment name, parameters, master seed, workers, wall time, package
+version) and a ``rows.jsonl`` of streamed data rows.  Rerunning the same
+configuration reopens the same directory and skips every cell whose row is
+already on disk.  See PERFORMANCE.md ("The results workflow") for how the
+CLI and the benchmark tooling consume stored runs.
+"""
+
+from repro.results.store import (MANIFEST_NAME, ROWS_NAME, RunStore,
+                                 latest_run, list_runs, load_run,
+                                 params_digest, run_directory)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ROWS_NAME",
+    "RunStore",
+    "latest_run",
+    "list_runs",
+    "load_run",
+    "params_digest",
+    "run_directory",
+]

@@ -1,0 +1,245 @@
+"""The persistent results store: one directory per run, JSONL rows.
+
+A *run* is one (experiment, parameters) execution.  Its directory is
+content-addressed — ``<root>/<experiment>/<digest>`` where the digest
+hashes the experiment name and the canonical JSON of its resolved
+parameters — so rerunning the same configuration lands in the same
+directory and resumes instead of recomputing.
+
+Layout::
+
+    results/E2/1a2b3c4d5e6f/
+        manifest.json   # experiment, params, seed, workers, wall time, ...
+        rows.jsonl      # one {"index", "key", "row"} object per data row
+
+Rows stream to ``rows.jsonl`` the moment their cell completes (the file is
+flushed per line), so a killed run keeps everything it finished.  On
+rerun, :meth:`RunStore.completed_rows` feeds the already-stored rows back
+to :meth:`repro.experiments.base.Experiment.run`, which skips those cells.
+Synthetic finalizer rows (the E2/E4 exponential fits) are *never* stored;
+they are recomputed from the data rows when a run is rendered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.base import Row, RowStore, cell_key_id
+
+MANIFEST_NAME = "manifest.json"
+ROWS_NAME = "rows.jsonl"
+_DIGEST_LENGTH = 12
+
+
+def params_digest(experiment: str, params: Mapping[str, Any]) -> str:
+    """Content digest identifying one (experiment, params) configuration."""
+    canonical = json.dumps({"experiment": experiment,
+                            "params": _jsonable(params)},
+                           sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")) \
+        .hexdigest()[:_DIGEST_LENGTH]
+
+
+def run_directory(root: str, experiment: str,
+                  params: Mapping[str, Any]) -> str:
+    """The content-addressed directory of a run under ``root``."""
+    return os.path.join(root, experiment, params_digest(experiment, params))
+
+
+def _jsonable(value: Any) -> Any:
+    """Params as plain JSON data (tuples become lists)."""
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+class RunStore(RowStore):
+    """One run directory: the manifest plus streaming JSONL row writes."""
+
+    def __init__(self, path: str, experiment: str,
+                 params: Mapping[str, Any],
+                 workers: Optional[int] = None) -> None:
+        self.path = path
+        self.experiment = experiment
+        self.params = _jsonable(params)
+        self.workers = workers
+        self._rows: Dict[str, Tuple[int, Row]] = {}
+        os.makedirs(self.path, exist_ok=True)
+        self._created_at: Optional[str] = None
+        if os.path.exists(self._manifest_path):
+            self._created_at = self.manifest.get("created_at")
+        self._load_existing()
+        # Constructing a store only *reads*; the manifest is (re)written
+        # by open(), write_row() and finish(), never on the load path.
+
+    # -- opening ------------------------------------------------------
+    @classmethod
+    def open(cls, root: str, experiment: str, params: Mapping[str, Any],
+             workers: Optional[int] = None) -> "RunStore":
+        """Open (creating or resuming) the run for this configuration."""
+        store = cls(run_directory(root, experiment, params), experiment,
+                    params, workers=workers)
+        store._write_manifest(completed=store._manifest_completed(),
+                              wall_time=store._manifest_wall_time())
+        return store
+
+    # -- the RowStore contract ---------------------------------------
+    def completed_rows(self) -> Dict[str, Row]:
+        return {key: row for key, (_, row) in self._rows.items()}
+
+    def write_row(self, index: int, key: Sequence[Any], row: Row) -> None:
+        record = {"index": index, "key": list(key), "row": row}
+        with open(self._rows_path, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+        self._rows[cell_key_id(key)] = (index, row)
+        # Keep row_count current so a killed run's manifest is accurate.
+        self._write_manifest(completed=False, wall_time=None)
+
+    # -- completion ---------------------------------------------------
+    def finish(self, wall_time: float) -> None:
+        """Mark the run complete and record its wall time."""
+        self._write_manifest(completed=True, wall_time=wall_time)
+
+    # -- reading back -------------------------------------------------
+    @property
+    def manifest(self) -> Dict[str, Any]:
+        with open(self._manifest_path) as handle:
+            return json.load(handle)
+
+    def rows(self) -> List[Row]:
+        """The stored data rows, in cell order."""
+        return [row for _, row in
+                sorted(self._rows.values(), key=lambda item: item[0])]
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    # -- internals ----------------------------------------------------
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self.path, MANIFEST_NAME)
+
+    @property
+    def _rows_path(self) -> str:
+        return os.path.join(self.path, ROWS_NAME)
+
+    def _manifest_completed(self) -> bool:
+        if not os.path.exists(self._manifest_path):
+            return False
+        return bool(self.manifest.get("completed"))
+
+    def _manifest_wall_time(self) -> Optional[float]:
+        if not os.path.exists(self._manifest_path):
+            return None
+        return self.manifest.get("wall_time_seconds")
+
+    def _load_existing(self) -> None:
+        if not os.path.exists(self._rows_path):
+            return
+        with open(self._rows_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A run killed mid-write leaves a torn final line;
+                    # everything before it is still good.
+                    continue
+                self._rows[cell_key_id(record["key"])] = \
+                    (record["index"], record["row"])
+
+    def _write_manifest(self, completed: bool,
+                        wall_time: Optional[float]) -> None:
+        from repro import __version__
+
+        if self._created_at is None:
+            self._created_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        manifest = {
+            "experiment": self.experiment,
+            "params": self.params,
+            "seed": self.params.get("seed"),
+            "workers": self.workers,
+            "package_version": __version__,
+            "created_at": self._created_at,
+            "completed": completed,
+            "wall_time_seconds": wall_time,
+            "row_count": len(self._rows),
+        }
+        tmp_path = self._manifest_path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, self._manifest_path)
+
+
+def load_run(path: str) -> Tuple[Dict[str, Any], List[Row]]:
+    """Load a stored run: (manifest, data rows in cell order)."""
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    store = RunStore(path, manifest["experiment"], manifest["params"],
+                     workers=manifest.get("workers"))
+    return store.manifest, store.rows()
+
+
+def list_runs(root: str,
+              experiment: Optional[str] = None) -> List[str]:
+    """Run directories under ``root`` (optionally one experiment's),
+    newest manifest first."""
+    if experiment:
+        experiment_dirs = [os.path.join(root, experiment)]
+    elif os.path.isdir(root):
+        experiment_dirs = [os.path.join(root, name)
+                           for name in sorted(os.listdir(root))]
+    else:
+        experiment_dirs = []
+    runs: List[Tuple[float, str]] = []
+    for experiment_dir in experiment_dirs:
+        if not os.path.isdir(experiment_dir):
+            continue
+        for digest in sorted(os.listdir(experiment_dir)):
+            run_dir = os.path.join(experiment_dir, digest)
+            manifest = os.path.join(run_dir, MANIFEST_NAME)
+            if os.path.isfile(manifest):
+                runs.append((os.path.getmtime(manifest), run_dir))
+    runs.sort(reverse=True)
+    return [run_dir for _, run_dir in runs]
+
+
+def latest_run(root: str, experiment: str) -> Optional[str]:
+    """The most recent *completed* run directory for one experiment.
+
+    Falls back to the newest partial run when nothing has completed, so
+    an interrupted rerun never shadows a finished table.
+    """
+    runs = list_runs(root, experiment=experiment)
+    for run_dir in runs:
+        try:
+            with open(os.path.join(run_dir, MANIFEST_NAME)) as handle:
+                if json.load(handle).get("completed"):
+                    return run_dir
+        except (OSError, json.JSONDecodeError):
+            continue
+    return runs[0] if runs else None
+
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ROWS_NAME",
+    "RunStore",
+    "params_digest",
+    "run_directory",
+    "load_run",
+    "list_runs",
+    "latest_run",
+]

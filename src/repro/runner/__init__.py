@@ -13,7 +13,8 @@ See ``PERFORMANCE.md`` at the repository root for the usage guide.
 from repro.runner.aggregate import (correctness_flags, group_by_tag,
                                     measure, message_chain_length,
                                     windows_to_first_decision)
-from repro.runner.parallel import ParallelRunner, default_workers, run_trials
+from repro.runner.parallel import (ParallelRunner, default_workers,
+                                   iter_trials, run_trials)
 from repro.runner.spec import (STEP_ENGINE, WINDOW_ENGINE, TrialSpec,
                                derive_seed, execute_trial)
 
@@ -25,6 +26,7 @@ __all__ = [
     "STEP_ENGINE",
     "ParallelRunner",
     "run_trials",
+    "iter_trials",
     "default_workers",
     "group_by_tag",
     "measure",

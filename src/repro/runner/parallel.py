@@ -18,7 +18,7 @@ import math
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.runner.spec import TrialSpec, execute_trial
 from repro.simulation.trace import ExecutionResult
@@ -77,18 +77,31 @@ class ParallelRunner:
 
     def run(self, specs: Iterable[TrialSpec]) -> List[ExecutionResult]:
         """Execute every spec, returning results in submission order."""
+        return list(self.iter_results(specs))
+
+    def iter_results(self, specs: Iterable[TrialSpec]
+                     ) -> Iterator[ExecutionResult]:
+        """Execute every spec, yielding results in submission order.
+
+        Results stream as their chunks complete, so a consumer can act on
+        early trials (e.g. persist experiment rows) while later trials
+        are still running in the workers.  All specs are submitted to the
+        pool up front — streaming changes consumption, not parallelism.
+        """
         spec_list = list(specs)
         workers = min(self.workers, len(spec_list))
         if workers <= 0 or len(spec_list) == 1:
-            return [execute_trial(spec) for spec in spec_list]
+            for spec in spec_list:
+                yield execute_trial(spec)
+            return
         chunk = self.chunk_size or max(
             1, math.ceil(len(spec_list) / (workers * 4)))
         chunks = [spec_list[i:i + chunk]
                   for i in range(0, len(spec_list), chunk)]
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=_mp_context()) as pool:
-            chunk_results = list(pool.map(_execute_chunk, chunks))
-        return [result for batch in chunk_results for result in batch]
+            for batch in pool.map(_execute_chunk, chunks):
+                yield from batch
 
 
 def run_trials(specs: Iterable[TrialSpec],
@@ -98,4 +111,13 @@ def run_trials(specs: Iterable[TrialSpec],
     return ParallelRunner(workers=workers, chunk_size=chunk_size).run(specs)
 
 
-__all__ = ["ParallelRunner", "run_trials", "default_workers"]
+def iter_trials(specs: Iterable[TrialSpec],
+                workers: Optional[int] = None,
+                chunk_size: Optional[int] = None
+                ) -> Iterator[ExecutionResult]:
+    """Convenience wrapper: stream results in submission order."""
+    return ParallelRunner(workers=workers,
+                          chunk_size=chunk_size).iter_results(specs)
+
+
+__all__ = ["ParallelRunner", "run_trials", "iter_trials", "default_workers"]

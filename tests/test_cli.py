@@ -1,0 +1,148 @@
+"""CLI tests: argument handling, run/show round-trips, EXPERIMENTS.md sync."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main, render_registry_doc
+from repro.experiments import available_experiments
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXPERIMENTS_MD = os.path.join(REPO_ROOT, "EXPERIMENTS.md")
+
+E3_ARGS = ["--set", "ns=(8,)", "--set", "samples=2",
+           "--set", "separation_trials=2"]
+
+
+def test_experiments_md_in_sync():
+    """EXPERIMENTS.md is generated; regenerate with
+    ``python -m repro list --doc > EXPERIMENTS.md`` after editing the
+    registry."""
+    with open(EXPERIMENTS_MD) as handle:
+        on_disk = handle.read()
+    assert on_disk == render_registry_doc()
+
+
+def test_doc_covers_every_experiment():
+    doc = render_registry_doc()
+    for experiment in available_experiments():
+        assert f"## {experiment.name} — {experiment.title}" in doc
+        assert experiment.slug in doc
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment in available_experiments():
+        assert experiment.name in out
+        assert experiment.slug in out
+
+
+def test_list_doc_prints_the_document(capsys):
+    assert main(["list", "--doc"]) == 0
+    assert capsys.readouterr().out == render_registry_doc()
+
+
+def test_run_requires_experiment_or_all(capsys):
+    assert main(["run"]) == 2
+    assert "--all" in capsys.readouterr().err
+
+
+def test_run_unknown_experiment_fails_cleanly(capsys):
+    assert main(["run", "E99", "--no-store"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_unknown_parameter_fails_cleanly(capsys):
+    assert main(["run", "E8", "--no-store", "--set", "bogus=1"]) == 2
+    assert "unknown parameter" in capsys.readouterr().err
+
+
+def test_run_bad_set_syntax_fails_cleanly(capsys):
+    assert main(["run", "E8", "--no-store", "--set", "novalue"]) == 2
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_run_non_literal_set_value_fails_cleanly(capsys):
+    assert main(["run", "E2", "--no-store", "--set", "trials=3x"]) == 2
+    assert "not a Python literal" in capsys.readouterr().err
+
+
+def test_run_no_store_prints_table(capsys):
+    assert main(["run", "E8", "--no-store", "--seed", "3",
+                 "--set", "cs=(0.1,)", "--set", "ns=(50, 100)"]) == 0
+    out = capsys.readouterr().out
+    assert "E8: Theorem 5 constants" in out
+    assert "predicted_windows" in out
+
+
+def test_run_by_slug(capsys):
+    assert main(["run", "constants", "--no-store",
+                 "--set", "cs=(0.1,)", "--set", "ns=(50,)"]) == 0
+    assert "E8" in capsys.readouterr().out
+
+
+def test_run_writes_store_and_resumes(tmp_path, capsys):
+    out_dir = str(tmp_path / "results")
+    assert main(["run", "E3", "--quick", "--out", out_dir] + E3_ARGS) == 0
+    first = capsys.readouterr().out
+    assert "0 cached + 1 computed" in first
+
+    run_dirs = [os.path.join(root, name)
+                for root, dirs, files in os.walk(out_dir)
+                for name in files if name == "manifest.json"]
+    assert len(run_dirs) == 1
+    manifest = json.load(open(run_dirs[0]))
+    assert manifest["experiment"] == "E3"
+    assert manifest["completed"] is True
+    assert os.path.exists(os.path.join(os.path.dirname(run_dirs[0]),
+                                       "rows.jsonl"))
+
+    # Rerun of the same configuration resumes (all cells cached) and
+    # keeps the originally recorded wall time instead of ~0s.
+    wall_before = json.load(open(run_dirs[0]))["wall_time_seconds"]
+    assert main(["run", "E3", "--quick", "--out", out_dir] + E3_ARGS) == 0
+    second = capsys.readouterr().out
+    assert "1 cached + 0 computed" in second
+    assert json.load(open(run_dirs[0]))["wall_time_seconds"] == wall_before
+
+
+def test_show_on_non_run_directory_fails_cleanly(tmp_path, capsys):
+    assert main(["show", str(tmp_path)]) == 2
+    assert "not a run directory" in capsys.readouterr().err
+
+
+def test_show_latest_run_and_run_dir(tmp_path, capsys):
+    out_dir = str(tmp_path / "results")
+    assert main(["run", "E3", "--quick", "--out", out_dir] + E3_ARGS) == 0
+    capsys.readouterr()
+
+    assert main(["show", "E3", "--out", out_dir]) == 0
+    by_name = capsys.readouterr().out
+    assert "complete" in by_name
+    assert "separation_holds" in by_name
+
+    run_dir = os.path.dirname(next(
+        os.path.join(root, name)
+        for root, dirs, files in os.walk(out_dir)
+        for name in files if name == "manifest.json"))
+    assert main(["show", run_dir]) == 0
+    by_path = capsys.readouterr().out
+    assert "separation_holds" in by_path
+
+
+def test_show_without_stored_runs_errors(tmp_path, capsys):
+    assert main(["show", "E3", "--out", str(tmp_path / "empty")]) == 1
+    assert "no stored runs" in capsys.readouterr().err
+
+
+def test_show_renders_finalize_rows(tmp_path, capsys):
+    out_dir = str(tmp_path / "results")
+    assert main(["run", "E2", "--out", out_dir, "--seed", "5",
+                 "--set", "ns=(12, 16)", "--set", "trials=1",
+                 "--workers", "0"]) == 0
+    capsys.readouterr()
+    assert main(["show", "E2", "--out", out_dir]) == 0
+    out = capsys.readouterr().out
+    assert "E2-fit" in out  # synthetic fit row recomputed on render

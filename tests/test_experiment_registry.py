@@ -1,0 +1,123 @@
+"""Registry-completeness tests for the declarative experiment layer.
+
+Every registered experiment must run end to end at a smoke-sized grid and
+emit rows matching its declared schema; lookups must work by canonical
+name and by slug, case-insensitively; and the quick overrides must stay
+inside each experiment's parameter space.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments import (available_experiments, get_experiment,
+                               register)
+from repro.experiments.base import Experiment
+
+# Smoke-sized grids: small enough for the tier-1 suite, large enough to
+# produce at least one row per experiment.
+SMOKE_PARAMS = {
+    "E1": {"ns": (12,), "trials": 1, "max_windows": 2000, "seed": 5},
+    "E2": {"ns": (12,), "trials": 1, "seed": 5},
+    "E3": {"ns": (8,), "samples": 2, "separation_trials": 2, "seed": 5},
+    "E4": {"ns": (9,), "trials": 1, "seed": 5},
+    "E5": {"ns": (32,), "trials": 5, "seed": 5},
+    "E6": {"ben_or_ns": (9,), "bracha_ns": (7,), "trials": 1, "seed": 5},
+    "E7": {"n": 18, "trials": 1, "max_windows": 600, "seed": 5},
+    "E8": {"cs": (0.1,), "ns": (50,), "seed": 5},
+}
+
+
+def test_every_experiment_is_registered():
+    names = [experiment.name for experiment in available_experiments()]
+    assert names == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"]
+    assert len(SMOKE_PARAMS) == len(names)
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE_PARAMS))
+def test_experiment_runs_and_rows_match_schema(name):
+    experiment = get_experiment(name)
+    rows = experiment.run(params=SMOKE_PARAMS[name], workers=0)
+    assert rows, f"{name} produced no rows"
+    schema = set(experiment.row_schema)
+    for row in rows:
+        assert set(row) == schema, \
+            f"{name} row keys {sorted(row)} != schema {sorted(schema)}"
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE_PARAMS))
+def test_cells_are_one_to_one_with_data_rows(name):
+    experiment = get_experiment(name)
+    cells = experiment.cells(params=SMOKE_PARAMS[name])
+    rows = experiment.run(params=SMOKE_PARAMS[name], workers=0)
+    data_rows = [row for row in rows
+                 if not str(row["experiment"]).endswith("-fit")]
+    assert len(cells) == len(data_rows)
+    # Cell keys are unique — the results store keys resume on them.
+    keys = [tuple(cell.key) for cell in cells]
+    assert len(keys) == len(set(keys))
+
+
+def test_lookup_by_slug_and_case_insensitive():
+    assert get_experiment("feasibility") is get_experiment("E1")
+    assert get_experiment("e2") is get_experiment("E2")
+    assert get_experiment("Threshold-Ablation") is get_experiment("E7")
+
+
+def test_unknown_experiment_raises_with_known_names():
+    with pytest.raises(KeyError, match="known experiments: E1"):
+        get_experiment("E99")
+
+
+def test_unknown_parameter_rejected():
+    with pytest.raises(ValueError, match="unknown parameter"):
+        get_experiment("E2").resolve_params({"bogus": 1})
+
+
+def test_quick_overrides_stay_inside_the_parameter_space():
+    for experiment in available_experiments():
+        assert set(experiment.quick_overrides) <= set(experiment.defaults)
+        assert "seed" in experiment.defaults
+
+
+def test_duplicate_registration_rejected():
+    experiment = get_experiment("E1")
+    with pytest.raises(ValueError, match="already registered"):
+        register(experiment)
+
+
+def test_quick_run_equals_explicit_quick_params():
+    experiment = get_experiment("E8")
+    quick_rows = experiment.run(quick=True, workers=0)
+    explicit = experiment.run(
+        params=experiment.resolve_params(quick=True), workers=0)
+    assert quick_rows == explicit
+
+
+def test_seed_draw_order_is_independent_of_execution():
+    """Building cells twice draws identical seeds (pure grid expansion)."""
+    experiment = get_experiment("E2")
+    params = SMOKE_PARAMS["E2"]
+    merged = experiment.resolve_params(params)
+    cells_a = experiment.build_cells(merged, random.Random(merged["seed"]))
+    cells_b = experiment.build_cells(merged, random.Random(merged["seed"]))
+    specs_a = [spec for cell in cells_a for spec in cell.specs]
+    specs_b = [spec for cell in cells_b for spec in cell.specs]
+    assert specs_a == specs_b
+
+
+def test_experiment_dataclass_is_frozen():
+    with pytest.raises(Exception):
+        get_experiment("E1").name = "X"  # type: ignore[misc]
+
+
+def test_workers_do_not_change_rows():
+    experiment = get_experiment("E4")
+    params = SMOKE_PARAMS["E4"]
+    assert experiment.run(params=params, workers=0) \
+        == experiment.run(params=params, workers=2)
+
+
+def test_registry_experiment_type():
+    for experiment in available_experiments():
+        assert isinstance(experiment, Experiment)

@@ -1,0 +1,57 @@
+"""Fixed-seed golden tests: the legacy wrappers stay bit-identical.
+
+``tests/golden/experiment_rows.json`` was captured from the pre-registry
+experiment functions (the hand-rolled serial loops) at small parameter
+grids and fixed master seeds.  Every wrapper in
+:mod:`repro.analysis.experiments` — and therefore the registry path it
+delegates to — must keep reproducing those rows exactly, bit for bit.
+Regenerate the fixture only on a deliberate, documented behaviour change.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import experiments as legacy
+from repro.experiments import get_experiment
+
+GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "golden", "experiment_rows.json")
+
+WRAPPERS = {
+    "E1": legacy.run_feasibility_experiment,
+    "E2": legacy.run_exponential_rounds_experiment,
+    "E3": legacy.run_lower_bound_experiment,
+    "E4": legacy.run_crash_forgetful_experiment,
+    "E5": legacy.run_committee_experiment,
+    "E6": legacy.run_baseline_experiment,
+    "E7": legacy.run_threshold_ablation,
+    "E8": legacy.run_constants_experiment,
+}
+
+
+def _golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def _params(raw):
+    return {key: (tuple(value) if isinstance(value, list) else value)
+            for key, value in raw.items()}
+
+
+@pytest.mark.parametrize("name", sorted(WRAPPERS))
+def test_legacy_wrapper_rows_bit_identical(name):
+    golden = _golden()[name]
+    rows = WRAPPERS[name](**_params(golden["params"]))
+    assert rows == golden["rows"]
+
+
+@pytest.mark.parametrize("name", ["E2", "E6"])
+def test_registry_run_matches_wrapper_rows(name):
+    """The registry path and the wrapper path are the same code path."""
+    golden = _golden()[name]
+    params = _params(golden["params"])
+    assert get_experiment(name).run(params=params, workers=0) \
+        == golden["rows"]

@@ -1,0 +1,163 @@
+"""Results-store tests: manifest, streaming rows, and kill/resume."""
+
+import json
+import os
+
+import pytest
+
+import repro.experiments.base as base
+from repro.experiments import get_experiment
+from repro.results import (RunStore, latest_run, list_runs, load_run,
+                           params_digest, run_directory)
+
+E2_PARAMS = {"ns": (12, 16), "trials": 1, "max_windows": 200000,
+             "use_resets": True, "seed": 9}
+
+
+def _resolved(name, params):
+    return get_experiment(name).resolve_params(params)
+
+
+class TestManifest:
+    def test_manifest_fields(self, tmp_path):
+        experiment = get_experiment("E8")
+        params = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 3})
+        store = RunStore.open(str(tmp_path), "E8", params, workers=0)
+        experiment.run(params=params, store=store)
+        store.finish(wall_time=1.25)
+        manifest = store.manifest
+        assert manifest["experiment"] == "E8"
+        assert manifest["seed"] == 3
+        assert manifest["workers"] == 0
+        assert manifest["completed"] is True
+        assert manifest["wall_time_seconds"] == 1.25
+        assert manifest["row_count"] == 4  # 1 curve + 3 talagrand cells
+        assert manifest["package_version"]
+        assert manifest["params"]["cs"] == [0.1]
+
+    def test_run_directory_is_content_addressed(self, tmp_path):
+        params = _resolved("E8", {"seed": 3})
+        path = run_directory(str(tmp_path), "E8", params)
+        assert path == os.path.join(
+            str(tmp_path), "E8", params_digest("E8", params))
+        # Same config -> same digest; different seed -> different digest.
+        assert params_digest("E8", params) == params_digest("E8", params)
+        other = dict(params, seed=4)
+        assert params_digest("E8", params) != params_digest("E8", other)
+
+
+class TestStreamingAndLoad:
+    def test_rows_stream_as_jsonl(self, tmp_path):
+        experiment = get_experiment("E3")
+        params = _resolved("E3", {"ns": (8,), "samples": 2,
+                                  "separation_trials": 2, "seed": 7})
+        store = RunStore.open(str(tmp_path), "E3", params)
+        rows = experiment.run(params=params, store=store)
+        store.finish(wall_time=0.1)
+        lines = [json.loads(line) for line in
+                 open(os.path.join(store.path, "rows.jsonl"))]
+        assert [line["row"] for line in lines] == rows
+        manifest, loaded = load_run(store.path)
+        assert loaded == rows
+        assert manifest["completed"]
+
+    def test_list_and_latest_runs(self, tmp_path):
+        experiment = get_experiment("E8")
+        for seed in (1, 2):
+            params = _resolved("E8", {"cs": (0.1,), "ns": (50,),
+                                      "seed": seed})
+            store = RunStore.open(str(tmp_path), "E8", params)
+            experiment.run(params=params, store=store)
+            store.finish(wall_time=0.0)
+        runs = list_runs(str(tmp_path))
+        assert len(runs) == 2
+        assert latest_run(str(tmp_path), "E8") == runs[0]
+        assert latest_run(str(tmp_path), "E1") is None
+
+    def test_latest_run_prefers_completed_over_fresher_partial(
+            self, tmp_path):
+        experiment = get_experiment("E8")
+        done = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 1})
+        store = RunStore.open(str(tmp_path), "E8", done)
+        experiment.run(params=done, store=store)
+        store.finish(wall_time=0.0)
+        # An interrupted rerun opens (touching its manifest) but never
+        # finishes; `show E8` must still find the completed run.
+        partial = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 2})
+        RunStore.open(str(tmp_path), "E8", partial)
+        assert latest_run(str(tmp_path), "E8") == store.path
+
+
+class _KillAfter(RunStore):
+    """A store that dies (like SIGKILL mid-run) after N row writes."""
+
+    def __init__(self, *args, kill_after: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._writes_left = kill_after
+
+    def write_row(self, index, key, row):
+        if self._writes_left == 0:
+            raise KeyboardInterrupt("killed mid-run")
+        self._writes_left -= 1
+        super().write_row(index, key, row)
+
+
+class TestResume:
+    def test_kill_midrun_then_resume_no_duplicates_identical_table(
+            self, tmp_path, monkeypatch):
+        experiment = get_experiment("E2")
+        params = _resolved("E2", E2_PARAMS)
+        reference = experiment.run(params=params, workers=0)
+
+        path = run_directory(str(tmp_path), "E2", params)
+        killed = _KillAfter(path, "E2", params, kill_after=1)
+        with pytest.raises(KeyboardInterrupt):
+            experiment.run(params=params, workers=0, store=killed)
+        assert not killed.manifest["completed"]
+        assert killed.row_count == 1
+
+        # Rerun: the surviving cell must not recompute.  Count the trials
+        # that are submitted for execution on resume.
+        executed = []
+        real_iter_trials = base.iter_trials
+
+        def counting_iter_trials(specs, workers=None, **kwargs):
+            specs = list(specs)
+            executed.extend(specs)
+            return real_iter_trials(specs, workers=workers, **kwargs)
+
+        monkeypatch.setattr(base, "iter_trials", counting_iter_trials)
+        resumed_store = RunStore.open(str(tmp_path), "E2", params,
+                                      workers=0)
+        rows = experiment.run(params=params, workers=0,
+                              store=resumed_store)
+        resumed_store.finish(wall_time=0.5)
+
+        cells = experiment.cells(params=params)
+        assert len(executed) == len(cells[1].specs)  # only the killed cell
+        assert rows == reference  # identical final table, fit row included
+
+        # No duplicate rows in the JSONL, and a second rerun executes
+        # nothing at all.
+        lines = [json.loads(line) for line in
+                 open(os.path.join(path, "rows.jsonl"))]
+        keys = [json.dumps(line["key"]) for line in lines]
+        assert len(keys) == len(set(keys)) == len(cells)
+        executed.clear()
+        rerun_store = RunStore.open(str(tmp_path), "E2", params, workers=0)
+        assert experiment.run(params=params, workers=0,
+                              store=rerun_store) == reference
+        assert executed == []
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        experiment = get_experiment("E8")
+        params = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 1})
+        store = RunStore.open(str(tmp_path), "E8", params)
+        rows = experiment.run(params=params, store=store)
+        rows_path = os.path.join(store.path, "rows.jsonl")
+        with open(rows_path, "a") as handle:
+            handle.write('{"index": 99, "key": ["torn"')  # no newline
+        reopened = RunStore.open(str(tmp_path), "E8", params)
+        assert reopened.rows() == rows
+        # And the resumed run completes the table without the torn cell.
+        assert experiment.run(params=params, store=reopened) == rows
