@@ -28,8 +28,11 @@ This package provides:
 * :mod:`repro.experiments` — the declarative experiment registry behind
   the EXPERIMENTS.md tables (E1–E8).
 * :mod:`repro.results` — the persistent, resumable results store.
+* :mod:`repro.verification` — the independent invariant checker, the
+  adversarial schedule fuzzer, counterexample minimization, and the
+  window-vs-step differential replayer.
 * :mod:`repro.cli` — the unified ``python -m repro`` / ``repro`` command
-  line (``list`` / ``run`` / ``show``).
+  line (``list`` / ``run`` / ``show`` / ``fuzz``).
 * :mod:`repro.runner` — the parallel Monte Carlo trial runner.
 * :mod:`repro.workloads` — input assignments.
 
@@ -66,8 +69,12 @@ from repro.protocols import (BenOrAgreement, BrachaAgreement,
 from repro.simulation import (Configuration, ExecutionResult, Message,
                               StepEngine, WindowEngine, WindowSpec,
                               run_execution)
+from repro.verification import (InvariantChecker, ScheduleReplayAdversary,
+                                VerificationReport, differential_replay,
+                                replay_schedule, run_fuzz_campaign,
+                                shrink_schedule)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptiveResettingAdversary",
@@ -107,5 +114,12 @@ __all__ = [
     "WindowEngine",
     "WindowSpec",
     "run_execution",
+    "InvariantChecker",
+    "VerificationReport",
+    "ScheduleReplayAdversary",
+    "differential_replay",
+    "replay_schedule",
+    "run_fuzz_campaign",
+    "shrink_schedule",
     "__version__",
 ]

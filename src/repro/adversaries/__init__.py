@@ -19,6 +19,7 @@ from repro.adversaries.byzantine import (ByzantineAdversary,
 from repro.adversaries.crash import (CrashAtDecisionAdversary,
                                      CrashSplitVoteAdversary,
                                      StaticCrashAdversary)
+from repro.adversaries.fuzzing import ScheduleFuzzer, StepFuzzer
 from repro.adversaries.interpolation import (CandidateEvaluation,
                                              LookaheadAdversary,
                                              interpolate_windows)
@@ -46,4 +47,6 @@ __all__ = [
     "interpolate_windows",
     "AdaptiveResettingAdversary",
     "SplitVoteAdversary",
+    "ScheduleFuzzer",
+    "StepFuzzer",
 ]

@@ -24,6 +24,7 @@ from repro.adversaries.byzantine import (ByzantineAdversary,
 from repro.adversaries.crash import (CrashAtDecisionAdversary,
                                      CrashSplitVoteAdversary,
                                      StaticCrashAdversary)
+from repro.adversaries.fuzzing import ScheduleFuzzer, StepFuzzer
 from repro.adversaries.polarizing import PolarizingAdversary
 from repro.adversaries.split_vote import (AdaptiveResettingAdversary,
                                           SplitVoteAdversary)
@@ -39,6 +40,8 @@ ADVERSARIES: Dict[str, Type] = {
     "crash-at-decision": CrashAtDecisionAdversary,
     "crash-split-vote": CrashSplitVoteAdversary,
     "byzantine": ByzantineAdversary,
+    "schedule-fuzzer": ScheduleFuzzer,
+    "step-fuzzer": StepFuzzer,
 }
 """Window- and step-adversary classes, keyed by registry name."""
 

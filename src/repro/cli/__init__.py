@@ -15,7 +15,16 @@ Subcommands::
 
     repro show {RUN_DIR | EXPERIMENT} [--out DIR]
         Render a stored run (a run directory, or the latest stored run of
-        an experiment) as a table.
+        an experiment) as a table.  Fuzz-campaign runs render too.
+
+    repro fuzz [--trials N] [--workers K] [--protocol P] [--seed S]
+               [--n N] [--t T] [--minimize] [--out DIR | --no-store]
+        Fuzz adversarial schedules against a protocol and re-check every
+        trace with the independent invariant checker
+        (:mod:`repro.verification`).  Campaigns persist to the results
+        store and resume like experiments; ``--minimize`` shrinks every
+        violating schedule into a counterexample artifact.  Exits 1 when
+        violations were found, 0 when the campaign is clean.
 
 Works both as ``python -m repro ...`` from a source checkout and as the
 installed ``repro`` console script.
@@ -34,6 +43,8 @@ from repro.analysis.statistics import format_table
 from repro.experiments import available_experiments, get_experiment
 from repro.experiments.base import Experiment
 from repro.results import RunStore, latest_run, load_run
+from repro.verification.fuzzer import (FUZZ_EXPERIMENT, resolve_fuzz_params,
+                                       run_fuzz_campaign)
 
 DEFAULT_OUT = "results"
 
@@ -41,9 +52,11 @@ _DOC_PREAMBLE = """\
 # EXPERIMENTS
 
 <!-- Generated from the experiment registry by
-     `python -m repro list --doc`.  Do not edit by hand: the test
-     tests/test_cli.py::test_experiments_md_in_sync regenerates this
-     document and compares it against the checked-in file. -->
+     `python -m repro list --doc`.  Do not edit by hand: after changing
+     the registry (or this preamble), regenerate with
+     `PYTHONPATH=src python -m repro list --doc > EXPERIMENTS.md`.
+     The test tests/test_cli.py::test_experiments_md_in_sync regenerates
+     this document and compares it against the checked-in file. -->
 
 The reproduction's eight experiments, one table each, all defined in
 `repro.experiments.definitions` and run through the single grid-expansion
@@ -57,6 +70,9 @@ Common front ends:
   same configuration resumes instead of recomputing.
 - `python -m repro run --all` — regenerate every table at full size.
 - `python -m repro show E2` — render the latest stored run.
+- `python -m repro fuzz` — adversarial schedule fuzzing with independent
+  invariant checking (see "Verification & fuzzing" in PERFORMANCE.md);
+  campaigns persist and resume like experiment runs.
 - `benchmarks/` — the same experiments under pytest-benchmark.
 - `repro.analysis.experiments.run_*` — backwards-compatible function
   wrappers (rows bit-identical to the registry path at equal seeds).
@@ -135,6 +151,34 @@ def _resolve_run_params(experiment: Experiment,
     return experiment.resolve_params(overrides or None, quick=args.quick)
 
 
+def _open_store(args: argparse.Namespace, name: str,
+                params: Dict[str, Any]):
+    """Open the run store (unless ``--no-store``), with resume state.
+
+    Returns:
+        ``(store, cached_rows, was_complete)`` — ``(None, 0, False)``
+        when persistence is disabled.
+    """
+    if args.no_store:
+        return None, 0, False
+    store = RunStore.open(args.out, name, params, workers=args.workers)
+    return store, store.row_count, bool(store.manifest.get("completed"))
+
+
+def _finish_store(store: RunStore, cached: int, was_complete: bool,
+                  wall_time: float, unit: str, extra_work: int = 0) -> str:
+    """Complete the run and return the resume-status header fragment.
+
+    A rerun that computed nothing (fully cached, and no extra work such
+    as minimization) keeps the originally stored wall time and completed
+    flag instead of clobbering them with ~0s / partial.
+    """
+    computed = store.row_count - cached
+    if computed or extra_work or not was_complete:
+        store.finish(wall_time)
+    return f"; {cached} cached + {computed} computed {unit} -> {store.path}"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.all:
         names = [experiment.name for experiment in available_experiments()]
@@ -154,14 +198,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # experiments still regenerate (and persist) their tables.
             exit_code = _usage_error("run", error)
             continue
-        store: Optional[RunStore] = None
-        cached = 0
-        if not args.no_store:
-            store = RunStore.open(args.out, experiment.name, params,
-                                  workers=args.workers)
-            cached = store.row_count
-        was_complete = (store is not None
-                        and bool(store.manifest.get("completed")))
+        store, cached, was_complete = _open_store(args, experiment.name,
+                                                  params)
         started = time.time()
         rows = experiment.run(params=params, workers=args.workers,
                               store=store)
@@ -169,13 +207,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         header = f"== {experiment.name}: {experiment.title} " \
                  f"({wall_time:.1f}s"
         if store is not None:
-            computed = store.row_count - cached
-            if computed or not was_complete:
-                # A fully-cached rerun computes nothing: keep the stored
-                # wall time instead of clobbering it with ~0s.
-                store.finish(wall_time)
-            header += f"; {cached} cached + {computed} computed cells " \
-                      f"-> {store.path}"
+            header += _finish_store(store, cached, was_complete, wall_time,
+                                    unit="cells")
         header += ") =="
         print(header)
         print(format_table(rows))
@@ -193,20 +226,35 @@ def _cmd_show(args: argparse.Namespace) -> int:
                 f"pass a results/<EXPERIMENT>/<digest> directory or an "
                 f"experiment name"))
     else:
+        if os.sep in target or target.startswith("."):
+            # Path-like but nonexistent: report the missing run id rather
+            # than misdiagnosing it as an unknown experiment name.
+            return _usage_error("show", ValueError(
+                f"no run directory at {target!r}"))
         try:
             experiment = get_experiment(target)
+            name = experiment.name
         except KeyError as error:
-            return _usage_error("show", error)
-        found = latest_run(args.out, experiment.name)
+            if target != FUZZ_EXPERIMENT:
+                return _usage_error("show", error)
+            name = FUZZ_EXPERIMENT  # fuzz campaigns are stored runs too
+        found = latest_run(args.out, name)
         if found is None:
-            print(f"no stored runs of {experiment.name} under {args.out!r}; "
-                  f"run `python -m repro run {experiment.name}` first",
+            hint = ("fuzz" if name == FUZZ_EXPERIMENT
+                    else f"run {name}")
+            print(f"no stored runs of {name} under {args.out!r}; "
+                  f"run `python -m repro {hint}` first",
                   file=sys.stderr)
             return 1
         run_dir = found
     manifest, rows = load_run(run_dir)
-    experiment = get_experiment(manifest["experiment"])
-    if experiment.finalize is not None:
+    try:
+        experiment = get_experiment(manifest["experiment"])
+    except KeyError:
+        # Not a registered experiment (e.g. a fuzz campaign): render the
+        # stored rows as-is, with no synthetic finalizer rows.
+        experiment = None
+    if experiment is not None and experiment.finalize is not None:
         rows = rows + experiment.finalize(rows, manifest["params"])
     status = "complete" if manifest.get("completed") else "partial"
     wall = manifest.get("wall_time_seconds")
@@ -218,6 +266,53 @@ def _cmd_show(args: argparse.Namespace) -> int:
     print(f"params: {manifest['params']}")
     print(format_table(rows))
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    try:
+        params = resolve_fuzz_params(
+            protocol=args.protocol, trials=args.trials, seed=args.seed,
+            n=args.n, t=args.t, max_windows=args.max_windows,
+            max_steps=args.max_steps, engine=args.engine)
+    except (KeyError, ValueError) as error:
+        return _usage_error("fuzz", error)
+    store, cached, was_complete = _open_store(args, FUZZ_EXPERIMENT,
+                                              params)
+    started = time.time()
+    report = run_fuzz_campaign(params, workers=args.workers, store=store,
+                               minimize=args.minimize)
+    wall_time = time.time() - started
+    header = (f"== fuzz: {params['trials']} trials of "
+              f"{params['protocol']} (n={params['n']}, t={params['t']}, "
+              f"{params['engine']} engine, seed {params['seed']}; "
+              f"{wall_time:.1f}s")
+    if store is not None:
+        # Minimization rewrites cached rows, so it counts as work done
+        # this run: the manifest must end up completed with this wall time.
+        header += _finish_store(store, cached, was_complete, wall_time,
+                                unit="trials",
+                                extra_work=report.minimized_trials)
+    header += ") =="
+    print(header)
+    findings = report.findings
+    if not findings:
+        print(f"no invariant violations in {params['trials']} trials")
+        return 0
+    print(f"{len(findings)} violating trial(s):")
+    print(format_table([
+        {"trial": row["trial"], "inputs": row["inputs"],
+         "violations": row["violations"],
+         "minimized_windows": row.get("minimized_windows"),
+         "counterexample": row.get("counterexample") or "-"}
+        for row in findings]))
+    if params["engine"] != "window":
+        print("\nstep-engine findings carry no window schedule, so "
+              "--minimize does not apply; replay them via "
+              "repro.verification.fuzz_trial_spec with the trial index")
+    elif not args.minimize:
+        print("\nrerun with --minimize to shrink the violating schedules "
+              "into counterexample artifacts")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -256,6 +351,44 @@ def build_parser() -> argparse.ArgumentParser:
                             help="override one experiment parameter "
                                  "(repeatable; value is a Python literal)")
     run_parser.set_defaults(func=_cmd_run)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="fuzz adversarial schedules and re-check every trace "
+                     "with the independent invariant checker")
+    fuzz_parser.add_argument("--trials", type=int, default=100,
+                             help="number of fuzzed executions "
+                                  "(default: 100)")
+    fuzz_parser.add_argument("--protocol", default="reset-tolerant",
+                             help="protocol registry name "
+                                  "(default: reset-tolerant)")
+    fuzz_parser.add_argument("--seed", type=int, default=0,
+                             help="campaign master seed (default: 0)")
+    fuzz_parser.add_argument("--n", type=int, default=None,
+                             help="system size (default: 9 on the window "
+                                  "engine, 7 on the step engine)")
+    fuzz_parser.add_argument("--t", type=int, default=None,
+                             help="fault bound (default: the protocol's "
+                                  "maximum for n)")
+    fuzz_parser.add_argument("--engine", default="auto",
+                             choices=("auto", "window", "step"),
+                             help="execution engine (default: auto — step "
+                                  "for Byzantine protocols, window "
+                                  "otherwise)")
+    fuzz_parser.add_argument("--max-windows", type=int, default=60,
+                             help="window cap per trial (default: 60)")
+    fuzz_parser.add_argument("--max-steps", type=int, default=6000,
+                             help="step cap per trial (default: 6000)")
+    fuzz_parser.add_argument("--workers", type=int, default=None,
+                             help="worker processes (0 = serial; default: "
+                                  "$REPRO_WORKERS or the CPU count)")
+    fuzz_parser.add_argument("--minimize", action="store_true",
+                             help="shrink violating schedules into "
+                                  "counterexample artifacts")
+    fuzz_parser.add_argument("--out", default=DEFAULT_OUT,
+                             help="results-store root (default: results/)")
+    fuzz_parser.add_argument("--no-store", action="store_true",
+                             help="print findings only, persist nothing")
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     show_parser = subparsers.add_parser(
         "show", help="render a stored run as a table")

@@ -65,6 +65,10 @@ class TrialSpec:
         max_steps: step cap (step engine).
         stop_when: ``"first"`` or ``"all"``, as in the engines' ``run``.
         record_configurations: keep per-window configuration snapshots.
+        record_trace: attach a full
+            :class:`~repro.simulation.trace.ExecutionTrace` to the result,
+            for the invariant checker and the differential replayer
+            (:mod:`repro.verification`).
         tag: opaque grouping key used by the aggregation helpers; trials of
             the same experiment cell share a tag.
     """
@@ -82,6 +86,7 @@ class TrialSpec:
     max_steps: int = 400000
     stop_when: str = "all"
     record_configurations: bool = False
+    record_trace: bool = False
     tag: Any = None
 
     def __post_init__(self) -> None:
@@ -108,10 +113,12 @@ def execute_trial(spec: TrialSpec) -> ExecutionResult:
     if spec.engine == WINDOW_ENGINE:
         engine = WindowEngine(
             factory, list(spec.inputs), seed=spec.seed,
-            record_configurations=spec.record_configurations)
+            record_configurations=spec.record_configurations,
+            record_trace=spec.record_trace)
         return engine.run(adversary, max_windows=spec.max_windows,
                           stop_when=spec.stop_when)
-    step_engine = StepEngine(factory, list(spec.inputs), seed=spec.seed)
+    step_engine = StepEngine(factory, list(spec.inputs), seed=spec.seed,
+                             record_trace=spec.record_trace)
     return step_engine.run(adversary, max_steps=spec.max_steps,
                            stop_when=spec.stop_when)
 

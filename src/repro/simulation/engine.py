@@ -21,7 +21,7 @@ from repro.simulation.events import Step, StepType
 from repro.simulation.message import Message
 from repro.simulation.network import Network
 from repro.simulation.processor import Processor
-from repro.simulation.trace import ExecutionResult
+from repro.simulation.trace import ExecutionResult, ExecutionTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.protocols.base import ProtocolFactory
@@ -48,7 +48,8 @@ class StepEngine:
     def __init__(self, factory: "ProtocolFactory", inputs: Sequence[int],
                  seed: Optional[int] = None,
                  crash_budget: Optional[int] = None,
-                 reset_budget: Optional[int] = None) -> None:
+                 reset_budget: Optional[int] = None,
+                 record_trace: bool = False) -> None:
         """Build the engine.
 
         Args:
@@ -61,6 +62,9 @@ class StepEngine:
                 is not meaningful at step granularity, so this caps the
                 total number of resetting steps instead (defaults to
                 unlimited; the window engine is the faithful reset model).
+            record_trace: keep a full :class:`ExecutionTrace` of every
+                step for the verification layer (off by default to keep
+                long executions cheap).
         """
         self.factory = factory
         self.n = factory.n
@@ -72,6 +76,12 @@ class StepEngine:
         self.steps_taken = 0
         self.crash_budget = self.t if crash_budget is None else crash_budget
         self.reset_budget = reset_budget
+        self.trace: Optional[ExecutionTrace] = None
+        if record_trace:
+            self.trace = ExecutionTrace(
+                engine="step", n=self.n, t=self.t, inputs=self.inputs,
+                seed=seed, crash_budget=self.crash_budget,
+                reset_budget=reset_budget)
         self.total_crashes = 0
         self.total_resets = 0
         self._first_decision_step: Optional[int] = None
@@ -136,6 +146,8 @@ class StepEngine:
             self._decided_count += 1
             if not proc.crashed:
                 self._live_undecided -= 1
+            if self.trace is not None:
+                self.trace.record_decide(proc.pid, proc.output)
 
     def _apply_send(self, pid: int) -> None:
         proc = self.processors[pid]
@@ -145,8 +157,10 @@ class StepEngine:
         was_decided = proc.decided
         messages = proc.send_step()
         if messages:
-            self.network.submit(messages,
-                                chain_depth=proc.outgoing_chain_depth)
+            messages = self.network.submit(
+                messages, chain_depth=proc.outgoing_chain_depth)
+        if self.trace is not None:
+            self.trace.record_send(pid, messages)
         self._note_decision(proc, was_decided)
 
     def _apply_receive(self, step: Step) -> None:
@@ -158,7 +172,12 @@ class StepEngine:
             # Deliveries to crashed processors are silently lost: the model
             # only requires delivery to processors taking infinitely many
             # steps.
+            if self.trace is not None:
+                self.trace.record_deliver(message, lost=True)
             return
+        if self.trace is not None:
+            self.trace.record_deliver(
+                message, corrupted=step.corrupted_payload is not None)
         if step.corrupted_payload is not None:
             message = message.corrupted(step.corrupted_payload)
         was_decided = proc.decided
@@ -176,6 +195,8 @@ class StepEngine:
         was_decided = proc.decided
         proc.reset()
         self.total_resets += 1
+        if self.trace is not None:
+            self.trace.record_reset(pid)
         self._note_decision(proc, was_decided)
 
     def _apply_crash(self, pid: int) -> None:
@@ -189,6 +210,8 @@ class StepEngine:
             self._live_undecided -= 1
         proc.crash()
         self.total_crashes += 1
+        if self.trace is not None:
+            self.trace.record_crash(pid)
 
     # ------------------------------------------------------------------
     # Full executions.
@@ -241,6 +264,7 @@ class StepEngine:
             agreement_violated=len(decided_values) > 1,
             validity_violated=bool(decided_values) and
             not decided_values.issubset(set(self.inputs)),
+            trace=self.trace,
         )
 
 

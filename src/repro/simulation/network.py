@@ -163,6 +163,15 @@ class Network:
         """All undelivered messages, in global send order."""
         return sorted(self._live.values(), key=lambda m: m.sequence)
 
+    def find_pending(self, sequence: int) -> Optional[Message]:
+        """The undelivered message with this sequence number, if any.
+
+        Used by the verification layer's differential replayer, which
+        re-issues a window-engine trace's deliveries on the step engine by
+        sequence number.
+        """
+        return self._live.get(sequence)
+
     @property
     def sent_count(self) -> int:
         """Total messages ever submitted."""

@@ -6,14 +6,159 @@ held in every reachable configuration along the way, when the first decision
 happened (in acceptable windows for the strongly adaptive model, in
 message-chain length for the crash model), and how much communication was
 used.
+
+When asked (``record_trace=True``), the engines additionally record an
+:class:`ExecutionTrace`: a flat, ordered log of every send, delivery, reset,
+crash and decision, plus — for the window engine — the
+:class:`~repro.simulation.windows.WindowSpec` of every executed window.
+The trace is the evidence the verification layer
+(:mod:`repro.verification`) replays: the
+:class:`~repro.verification.invariants.InvariantChecker` re-derives the
+paper's trace-level invariants from it without trusting the engines' own
+summary flags, and the differential replayer re-executes it on the other
+engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import (TYPE_CHECKING, Any, Iterable, List, Optional, Sequence,
+                    Set, Tuple)
 
 from repro.simulation.configuration import Configuration
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.simulation.message import Message
+    from repro.simulation.windows import WindowSpec
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event of an execution.
+
+    Attributes:
+        kind: ``"send"``, ``"deliver"``, ``"reset"``, ``"crash"`` or
+            ``"decide"``.
+        pid: the acting processor — the sender of a sending step, the
+            receiver of a delivery, the victim of a reset/crash, the
+            decider of a decision.
+        window: 0-based index of the acceptable window the event belongs
+            to (``None`` for step-engine events).
+        value: for ``"decide"``, the decided bit.
+        sequence: for ``"deliver"``, the delivered message's network
+            sequence number.
+        sender: for ``"deliver"``, the delivered message's sender.
+        sequences: for ``"send"``, the sequence numbers stamped on the
+            submitted messages (empty when the sending step sent nothing).
+        corrupted: for ``"deliver"``, whether an adversary replaced the
+            payload before it reached the receiver.
+        lost: for ``"deliver"``, whether the message was removed from the
+            buffer but never processed (delivery to a crashed processor).
+    """
+
+    kind: str
+    pid: int
+    window: Optional[int] = None
+    value: Optional[int] = None
+    sequence: Optional[int] = None
+    sender: Optional[int] = None
+    sequences: Tuple[int, ...] = ()
+    corrupted: bool = False
+    lost: bool = False
+
+
+@dataclass
+class ExecutionTrace:
+    """The full event log of one execution, engine-independent evidence.
+
+    Attributes:
+        engine: ``"window"`` or ``"step"`` — which engine produced it.
+        n: number of processors.
+        t: fault bound the execution was run under.
+        inputs: the initial input bits.
+        seed: the engine's master randomness seed.
+        crash_budget: the step engine's crash cap (``None`` elsewhere).
+        reset_budget: the step engine's reset cap (``None`` = unlimited).
+        events: every recorded event, in execution order.
+        windows: for the window engine, the executed window specifications
+            in order; ``windows[w]`` is the spec behind every event with
+            ``window == w``.
+    """
+
+    engine: str
+    n: int
+    t: int
+    inputs: Tuple[int, ...]
+    seed: Optional[int] = None
+    crash_budget: Optional[int] = None
+    reset_budget: Optional[int] = None
+    events: List[TraceEvent] = field(default_factory=list)
+    windows: List["WindowSpec"] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording (called by the engines).
+    # ------------------------------------------------------------------
+    def record_window(self, spec: "WindowSpec") -> None:
+        """Append the specification of the window about to execute."""
+        self.windows.append(spec)
+
+    def record_send(self, pid: int, messages: Sequence["Message"],
+                    window: Optional[int] = None) -> None:
+        """Record a sending step and the sequences it submitted."""
+        self.events.append(TraceEvent(
+            kind="send", pid=pid, window=window,
+            sequences=tuple(message.sequence for message in messages)))
+
+    def record_deliver(self, message: "Message",
+                       window: Optional[int] = None,
+                       corrupted: bool = False, lost: bool = False) -> None:
+        """Record the delivery (or crash-loss) of a buffered message."""
+        self.events.append(TraceEvent(
+            kind="deliver", pid=message.receiver, window=window,
+            sequence=message.sequence, sender=message.sender,
+            corrupted=corrupted, lost=lost))
+
+    def record_reset(self, pid: int, window: Optional[int] = None) -> None:
+        """Record a resetting failure."""
+        self.events.append(TraceEvent(kind="reset", pid=pid, window=window))
+
+    def record_crash(self, pid: int, window: Optional[int] = None) -> None:
+        """Record a crash failure."""
+        self.events.append(TraceEvent(kind="crash", pid=pid, window=window))
+
+    def record_decide(self, pid: int, value: Optional[int],
+                      window: Optional[int] = None) -> None:
+        """Record a processor writing its output bit."""
+        self.events.append(TraceEvent(kind="decide", pid=pid, value=value,
+                                      window=window))
+
+    # ------------------------------------------------------------------
+    # Inspection (used by the invariant checker and tests).
+    # ------------------------------------------------------------------
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        """All events of one kind, in execution order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def decisions(self) -> List[Tuple[int, Optional[int]]]:
+        """(pid, value) pairs of every decision event, in order."""
+        return [(event.pid, event.value) for event in self.events
+                if event.kind == "decide"]
+
+    def crashed_pids(self) -> Set[int]:
+        """Identities of processors that suffered a crash event."""
+        return {event.pid for event in self.events if event.kind == "crash"}
+
+    def deliveries_by_window(self) -> List[List[TraceEvent]]:
+        """Delivery events grouped by window index, in recorded order.
+
+        Only meaningful for window-engine traces; the differential
+        replayer uses this to re-issue the same deliveries step by step.
+        """
+        grouped: List[List[TraceEvent]] = [[] for _ in self.windows]
+        for event in self.events:
+            if event.kind == "deliver" and event.window is not None:
+                grouped[event.window].append(event)
+        return grouped
 
 
 @dataclass
@@ -44,6 +189,8 @@ class ExecutionResult:
         validity_violated: True if some decided value matched no input.
         configurations: optional per-window configuration snapshots, when
             the engine was asked to record them.
+        trace: the full event log, when the engine was asked to record it
+            (``record_trace=True``); consumed by :mod:`repro.verification`.
     """
 
     n: int
@@ -63,6 +210,7 @@ class ExecutionResult:
     agreement_violated: bool = False
     validity_violated: bool = False
     configurations: List[Configuration] = field(default_factory=list)
+    trace: Optional[ExecutionTrace] = None
 
     # ------------------------------------------------------------------
     # Derived predicates.
@@ -129,4 +277,4 @@ class ExecutionResult:
         }
 
 
-__all__ = ["ExecutionResult"]
+__all__ = ["ExecutionResult", "ExecutionTrace", "TraceEvent"]

@@ -27,7 +27,7 @@ from repro.simulation.configuration import Configuration
 from repro.simulation.errors import (AdversaryBudgetError, InvalidWindowError)
 from repro.simulation.network import Network
 from repro.simulation.processor import Processor
-from repro.simulation.trace import ExecutionResult
+from repro.simulation.trace import ExecutionResult, ExecutionTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.protocols.base import ProtocolFactory
@@ -140,7 +140,8 @@ class WindowEngine:
 
     def __init__(self, factory: "ProtocolFactory", inputs: Sequence[int],
                  seed: Optional[int] = None,
-                 record_configurations: bool = False) -> None:
+                 record_configurations: bool = False,
+                 record_trace: bool = False) -> None:
         """Build the engine.
 
         Args:
@@ -150,6 +151,9 @@ class WindowEngine:
             record_configurations: keep a per-window configuration snapshot
                 (needed by the lower-bound machinery, off by default to keep
                 long executions cheap).
+            record_trace: keep a full :class:`ExecutionTrace` — every
+                window specification, send, delivery, reset, crash and
+                decision — for the verification layer (off by default).
         """
         self.factory = factory
         self.n = factory.n
@@ -157,6 +161,10 @@ class WindowEngine:
         self.inputs = tuple(inputs)
         self.seed = seed
         self.record_configurations = record_configurations
+        self.trace: Optional[ExecutionTrace] = None
+        if record_trace:
+            self.trace = ExecutionTrace(engine="window", n=self.n, t=self.t,
+                                        inputs=self.inputs, seed=seed)
         self.network = Network(self.n)
         protocols = factory.build(list(inputs), seed=seed)
         self.processors: List[Processor] = [Processor(p) for p in protocols]
@@ -241,6 +249,12 @@ class WindowEngine:
         steps are applied.
         """
         spec.validate(self.n, self.t)
+        trace = self.trace
+        window = self.window_index
+        outputs_before: Optional[Tuple[Optional[int], ...]] = None
+        if trace is not None:
+            trace.record_window(spec)
+            outputs_before = self.outputs()
         self._apply_crashes(spec.crashes)
 
         # Phase 1: sending steps for all (live) processors.
@@ -249,8 +263,10 @@ class WindowEngine:
                 continue
             messages = proc.send_step()
             if messages:
-                self.network.submit(messages,
-                                    chain_depth=proc.outgoing_chain_depth)
+                messages = self.network.submit(
+                    messages, chain_depth=proc.outgoing_chain_depth)
+            if trace is not None:
+                trace.record_send(proc.pid, messages, window=window)
 
         # Phase 2: receiving steps.  The adversary controls the order of
         # receiving steps within the window; deprioritised senders are
@@ -269,6 +285,8 @@ class WindowEngine:
                     [m for m in deliveries if m.sender not in deliver_last]
                     + [m for m in deliveries if m.sender in deliver_last])
             for message in deliveries:
+                if trace is not None:
+                    trace.record_deliver(message, window=window)
                 proc.receive_step(message)
 
         # Phase 3: resetting steps.
@@ -277,6 +295,13 @@ class WindowEngine:
             if not proc.crashed:
                 proc.reset()
                 self.total_resets += 1
+                if trace is not None:
+                    trace.record_reset(pid, window=window)
+
+        if trace is not None and outputs_before is not None:
+            for pid, output in enumerate(self.outputs()):
+                if output is not None and outputs_before[pid] != output:
+                    trace.record_decide(pid, output, window=window)
 
         self.window_index += 1
         if self._first_decision_window is None and self.any_decided():
@@ -292,6 +317,8 @@ class WindowEngine:
             if not proc.crashed:
                 proc.crash()
                 self.total_crashes += 1
+                if self.trace is not None:
+                    self.trace.record_crash(pid, window=self.window_index)
         if self.total_crashes > self.t:
             raise AdversaryBudgetError(
                 f"adversary crashed {self.total_crashes} > t = {self.t} "
@@ -354,6 +381,7 @@ class WindowEngine:
                                        set(self.inputs))
             if any(o is not None for o in outputs) else False,
             configurations=self.configurations,
+            trace=self.trace,
         )
 
 
@@ -361,6 +389,7 @@ def run_execution(protocol_cls, n: int, t: int, inputs: Sequence[int],
                   adversary: WindowAdversary, max_windows: int,
                   seed: Optional[int] = None, stop_when: str = "all",
                   record_configurations: bool = False,
+                  record_trace: bool = False,
                   **protocol_kwargs) -> ExecutionResult:
     """Convenience wrapper: build an engine and run a full execution.
 
@@ -373,7 +402,8 @@ def run_execution(protocol_cls, n: int, t: int, inputs: Sequence[int],
 
     factory = ProtocolFactory(protocol_cls, n=n, t=t, **protocol_kwargs)
     engine = WindowEngine(factory, inputs, seed=seed,
-                          record_configurations=record_configurations)
+                          record_configurations=record_configurations,
+                          record_trace=record_trace)
     return engine.run(adversary, max_windows=max_windows, stop_when=stop_when)
 
 

@@ -1,0 +1,66 @@
+"""Independent verification of the reproduction's trace-level claims.
+
+The paper's guarantees — agreement and validity in every reachable
+configuration, faults within the ``t`` budget, executions structured as
+acceptable windows — are *trace* properties.  This package checks them as
+such, independently of the engines' own summary bookkeeping:
+
+* :mod:`repro.verification.invariants` — the
+  :class:`~repro.verification.invariants.InvariantChecker` re-derives
+  agreement, validity, decision stability, window acceptability, the
+  fault and reset budgets and message causality from a recorded
+  :class:`~repro.simulation.trace.ExecutionTrace`.
+* :mod:`repro.verification.fuzzer` — seed-deterministic fuzz campaigns
+  driving the :class:`~repro.adversaries.fuzzing.ScheduleFuzzer` /
+  :class:`~repro.adversaries.fuzzing.StepFuzzer` adversaries through the
+  parallel runner, with results persisted (and resumed) through the
+  results store.  The CLI front end is ``python -m repro fuzz``.
+* :mod:`repro.verification.shrink` — greedy delta-debugging minimization
+  of violating schedules into short counterexample artifacts.
+* :mod:`repro.verification.differential` — compiles window-engine
+  executions into step schedules and replays them on the step engine,
+  asserting both engines realise the same model.
+"""
+
+from repro.verification.differential import (DifferentialReport,
+                                             differential_replay,
+                                             replay_trace_on_step_engine)
+from repro.verification.fuzzer import (COUNTEREXAMPLE_DIR, FUZZ_EXPERIMENT,
+                                       FuzzReport, fuzz_trial_spec,
+                                       minimize_finding,
+                                       resolve_fuzz_params,
+                                       run_fuzz_campaign)
+from repro.verification.invariants import (INVARIANTS, InvariantChecker,
+                                           VerificationReport, Violation)
+from repro.verification.shrink import (ReplaySetup, ScheduleReplayAdversary,
+                                       ShrinkResult, load_counterexample,
+                                       replay_schedule, save_counterexample,
+                                       schedule_from_jsonable,
+                                       schedule_to_jsonable,
+                                       shrink_schedule)
+
+__all__ = [
+    "INVARIANTS",
+    "InvariantChecker",
+    "VerificationReport",
+    "Violation",
+    "FUZZ_EXPERIMENT",
+    "COUNTEREXAMPLE_DIR",
+    "FuzzReport",
+    "fuzz_trial_spec",
+    "resolve_fuzz_params",
+    "run_fuzz_campaign",
+    "minimize_finding",
+    "ReplaySetup",
+    "ScheduleReplayAdversary",
+    "ShrinkResult",
+    "replay_schedule",
+    "shrink_schedule",
+    "schedule_to_jsonable",
+    "schedule_from_jsonable",
+    "save_counterexample",
+    "load_counterexample",
+    "DifferentialReport",
+    "differential_replay",
+    "replay_trace_on_step_engine",
+]

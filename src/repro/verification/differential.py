@@ -1,0 +1,150 @@
+"""Differential cross-engine replay: window engine vs step engine.
+
+The window engine executes the paper's acceptable-window model directly;
+the step engine executes the same model one fine-grained step at a time.
+An acceptable window is, by Definition 1, just a particular arrangement of
+sending / receiving / resetting steps — so any window-engine execution can
+be *compiled* to a step schedule (crashes, then the live processors'
+sending steps in identity order, then the recorded deliveries in delivery
+order, then the resets) and replayed on the step engine.  If the two
+engines implement the same model, the replay must reproduce the exact same
+execution: same decisions, same message counts, same resets.
+
+:func:`differential_replay` runs that comparison for one trial
+specification.  It is both a verification tool (an engine divergence is a
+bug in one of them) and the semantic anchor for the fuzz campaign: a
+violation that reproduces on both engines cannot be an artifact of either
+engine's bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.adversaries.registry import build_adversary
+from repro.protocols.base import ProtocolFactory
+from repro.protocols.registry import get_protocol
+from repro.runner.spec import WINDOW_ENGINE, TrialSpec
+from repro.simulation.engine import StepEngine
+from repro.simulation.events import Step
+from repro.simulation.trace import ExecutionResult, ExecutionTrace
+from repro.simulation.windows import WindowEngine
+
+
+@dataclass
+class DifferentialReport:
+    """The outcome of one window-vs-step differential replay.
+
+    Attributes:
+        n: number of processors.
+        t: fault bound.
+        windows: how many windows the window-engine execution ran.
+        agree: whether the step replay reproduced the window execution.
+        mismatches: human-readable descriptions of every divergence.
+        window_outputs: the window engine's final output bits.
+        step_outputs: the step replay's final output bits.
+    """
+
+    n: int
+    t: int
+    windows: int
+    agree: bool
+    mismatches: List[str] = field(default_factory=list)
+    window_outputs: Tuple[Optional[int], ...] = ()
+    step_outputs: Tuple[Optional[int], ...] = ()
+
+
+def replay_trace_on_step_engine(spec: TrialSpec,
+                                trace: ExecutionTrace) -> ExecutionResult:
+    """Re-execute a window-engine trace step by step.
+
+    Both engines stamp network sequence numbers in submission order and the
+    compiled schedule preserves the window engine's submission order, so
+    the trace's delivery events can be re-issued by sequence number.
+    """
+    info = get_protocol(spec.protocol)
+    factory = ProtocolFactory(info.protocol_cls, n=spec.n, t=spec.t,
+                              **spec.protocol_kwargs)
+    # The window model caps crashes at t cumulatively and has no global
+    # reset cap, so the replaying step engine gets the same budgets.
+    engine = StepEngine(factory, list(spec.inputs), seed=spec.seed,
+                        crash_budget=spec.t, reset_budget=None,
+                        record_trace=True)
+    crashed = set()
+    deliveries = trace.deliveries_by_window()
+    for window, window_spec in enumerate(trace.windows):
+        for pid in sorted(window_spec.crashes):
+            if pid not in crashed:
+                crashed.add(pid)
+                engine.apply_step(Step.crash(pid))
+        for pid in range(trace.n):
+            if pid not in crashed:
+                engine.apply_step(Step.send(pid))
+        for event in deliveries[window]:
+            message = engine.network.find_pending(event.sequence)
+            if message is None:
+                raise LookupError(
+                    f"window {window}: delivery of sequence "
+                    f"{event.sequence} has no pending counterpart in the "
+                    f"step replay (engines diverged earlier)")
+            engine.apply_step(Step.receive(message))
+        for pid in sorted(window_spec.resets):
+            if pid not in crashed:
+                engine.apply_step(Step.reset(pid))
+    return engine.result()
+
+
+def differential_replay(spec: TrialSpec) -> DifferentialReport:
+    """Run one window-engine trial, replay it on the step engine, compare.
+
+    Args:
+        spec: a window-engine trial specification (``engine="window"``).
+
+    Raises:
+        ValueError: when the spec targets the step engine (there is no
+            canonical reverse compilation).
+    """
+    if spec.engine != WINDOW_ENGINE:
+        raise ValueError("differential replay needs a window-engine spec, "
+                         f"got engine={spec.engine!r}")
+    info = get_protocol(spec.protocol)
+    adversary = build_adversary(spec.adversary, **spec.adversary_kwargs)
+    factory = ProtocolFactory(info.protocol_cls, n=spec.n, t=spec.t,
+                              **spec.protocol_kwargs)
+    engine = WindowEngine(factory, list(spec.inputs), seed=spec.seed,
+                          record_trace=True)
+    window_result = engine.run(adversary, max_windows=spec.max_windows,
+                               stop_when=spec.stop_when)
+    assert window_result.trace is not None
+    report = DifferentialReport(
+        n=spec.n, t=spec.t, windows=window_result.windows_elapsed,
+        agree=True, window_outputs=window_result.outputs)
+    try:
+        step_result = replay_trace_on_step_engine(spec, window_result.trace)
+    except LookupError as error:
+        report.agree = False
+        report.mismatches.append(str(error))
+        return report
+    report.step_outputs = step_result.outputs
+    for label, window_value, step_value in (
+            ("outputs", window_result.outputs, step_result.outputs),
+            ("crashed", window_result.crashed, step_result.crashed),
+            ("messages_sent", window_result.messages_sent,
+             step_result.messages_sent),
+            ("messages_delivered", window_result.messages_delivered,
+             step_result.messages_delivered),
+            ("total_resets", window_result.total_resets,
+             step_result.total_resets),
+            ("total_coin_flips", window_result.total_coin_flips,
+             step_result.total_coin_flips)):
+        if window_value != step_value:
+            report.agree = False
+            report.mismatches.append(
+                f"{label}: window engine {window_value!r} "
+                f"vs step replay {step_value!r}")
+    return report
+
+
+__all__ = ["DifferentialReport", "differential_replay",
+           "replay_trace_on_step_engine"]

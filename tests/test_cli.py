@@ -108,9 +108,70 @@ def test_run_writes_store_and_resumes(tmp_path, capsys):
     assert json.load(open(run_dirs[0]))["wall_time_seconds"] == wall_before
 
 
+def test_run_set_negative_int_coerces(capsys):
+    # Negative literals survive both argparse and ast.literal_eval.
+    assert main(["run", "E8", "--no-store", "--set", "seed=-7",
+                 "--set", "cs=(0.1,)", "--set", "ns=(50,)"]) == 0
+    assert "E8" in capsys.readouterr().out
+
+
+def test_run_set_tuple_and_list_values_coerce(capsys):
+    assert main(["run", "E8", "--no-store", "--set", "cs=(0.1, 0.2)",
+                 "--set", "ns=[50, 100]"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("E8 ") >= 4  # 2 cs x 2 ns curve rows
+
+
+def test_run_set_empty_value_fails_cleanly(capsys):
+    assert main(["run", "E8", "--no-store", "--set", "cs="]) == 2
+    assert "not a Python literal" in capsys.readouterr().err
+
+
+def test_run_set_unknown_key_reports_known_parameters(capsys):
+    assert main(["run", "E8", "--no-store", "--set", "bogus=1"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown parameter" in err
+    assert "known parameters" in err
+
+
+def test_run_repeated_set_last_assignment_wins(capsys):
+    assert main(["run", "E8", "--no-store", "--set", "ns=(50, 100)",
+                 "--set", "cs=(0.1,)", "--set", "ns=(50,)"]) == 0
+    out = capsys.readouterr().out
+    assert "50" in out and " 100 " not in out
+
+
 def test_show_on_non_run_directory_fails_cleanly(tmp_path, capsys):
     assert main(["show", str(tmp_path)]) == 2
     assert "not a run directory" in capsys.readouterr().err
+
+
+def test_show_on_missing_run_id_reports_the_path(capsys):
+    # A path-like target that does not exist is a missing run id, not an
+    # unknown experiment name.
+    assert main(["show", "results/E1/0123456789ab"]) == 2
+    err = capsys.readouterr().err
+    assert "no run directory at" in err
+    assert "unknown experiment" not in err
+
+
+def test_show_on_unknown_name_still_reports_experiments(capsys):
+    assert main(["show", "E99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_show_renders_unregistered_experiment_manifests(tmp_path, capsys):
+    # Stored runs of pseudo-experiments (e.g. fuzz campaigns) render
+    # generically instead of crashing on the registry lookup.
+    from repro.results import RunStore
+
+    store = RunStore.open(str(tmp_path), "custom-campaign", {"seed": 1})
+    store.write_row(0, ("custom-campaign", 0), {"trial": 0, "ok": True})
+    store.finish(0.1)
+    assert main(["show", store.path]) == 0
+    out = capsys.readouterr().out
+    assert "custom-campaign" in out
+    assert "trial" in out
 
 
 def test_show_latest_run_and_run_dir(tmp_path, capsys):

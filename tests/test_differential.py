@@ -1,0 +1,79 @@
+"""Differential cross-engine replay tests (window engine vs step engine)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.runner import TrialSpec
+from repro.verification import differential_replay
+
+
+def _e1_quick_specs():
+    """Every trial spec behind the E1 quick table, labelled by cell."""
+    cells = get_experiment("E1").cells(quick=True)
+    return [(cell.key, spec) for cell in cells for spec in cell.specs]
+
+
+class TestDifferentialReplay:
+    @pytest.mark.parametrize(
+        "key,spec", _e1_quick_specs(),
+        ids=[("-".join(str(part) for part in key))
+             for key, _ in _e1_quick_specs()])
+    def test_all_e1_quick_cells_agree_across_engines(self, key, spec):
+        report = differential_replay(spec)
+        assert report.agree, (
+            f"engines diverged on {key}: {report.mismatches}")
+        assert report.window_outputs == report.step_outputs
+
+    def test_crash_model_cells_agree_across_engines(self):
+        # An E6-style Ben-Or cell with real crash placements, exercising
+        # the crash-compilation path of the replayer.
+        spec = TrialSpec(
+            protocol="ben-or", adversary="static-crash", n=9, t=4,
+            inputs=tuple(pid % 2 for pid in range(9)), seed=13,
+            adversary_kwargs={"crash_schedule": {0: (0, 1), 2: (2,)}},
+            max_windows=200, stop_when="all")
+        report = differential_replay(spec)
+        assert report.agree, report.mismatches
+        assert report.window_outputs == report.step_outputs
+
+    def test_fuzzed_schedules_agree_across_engines(self):
+        for seed in range(5):
+            spec = TrialSpec(
+                protocol="reset-tolerant", adversary="schedule-fuzzer",
+                n=13, t=2, inputs=tuple(pid % 2 for pid in range(13)),
+                seed=seed, adversary_kwargs={"seed": seed + 100},
+                max_windows=60, stop_when="all")
+            report = differential_replay(spec)
+            assert report.agree, (seed, report.mismatches)
+
+    def test_step_specs_are_rejected(self):
+        spec = TrialSpec(protocol="bracha", adversary="byzantine",
+                         n=7, t=2, inputs=(0, 1) * 3 + (0,),
+                         engine="step")
+        with pytest.raises(ValueError, match="window-engine spec"):
+            differential_replay(spec)
+
+    def test_divergence_is_reported_not_hidden(self):
+        # Corrupt a recorded trace so the replay cannot follow it: the
+        # report must flag the divergence instead of agreeing.
+        spec = TrialSpec(protocol="reset-tolerant", adversary="benign",
+                         n=13, t=2, inputs=(1,) * 13, seed=0,
+                         max_windows=20, stop_when="all")
+        report = differential_replay(spec)
+        assert report.agree
+
+        from repro.verification.differential import \
+            replay_trace_on_step_engine
+        from repro.runner import execute_trial
+
+        traced = execute_trial(
+            dataclasses.replace(spec, record_trace=True))
+        trace = traced.trace
+        bad_event = dataclasses.replace(trace.events_of("deliver")[0],
+                                        sequence=999999)
+        trace.events[trace.events.index(
+            trace.events_of("deliver")[0])] = bad_event
+        with pytest.raises(LookupError, match="no pending counterpart"):
+            replay_trace_on_step_engine(spec, trace)

@@ -3,19 +3,28 @@
 import math
 import random
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.adversaries.fuzzing import StepFuzzer
 from repro.analysis.product_measure import (ProductDistribution, hamming,
                                             verify_talagrand)
 from repro.analysis.statistics import fit_exponential, summarize_trials
 from repro.core.talagrand import (lower_bound_constants, talagrand_bound,
                                   two_set_bound)
 from repro.core.thresholds import ThresholdConfig, default_thresholds
+from repro.protocols.base import ProtocolFactory
+from repro.protocols.ben_or import PROPOSE, REPORT, BenOrAgreement
+from repro.protocols.registry import get_protocol
 from repro.simulation.configuration import Configuration
-from repro.simulation.message import broadcast
+from repro.simulation.engine import StepEngine
+from repro.simulation.errors import InvalidWindowError
+from repro.simulation.message import Message, broadcast
 from repro.simulation.network import Network
 from repro.simulation.windows import WindowSpec
+from repro.verification.shrink import (schedule_from_jsonable,
+                                       schedule_to_jsonable)
 
 
 # ----------------------------------------------------------------------
@@ -92,6 +101,142 @@ def test_uniform_windows_validate_iff_within_budget(n, data):
         except Exception:
             pass
     WindowSpec.full_delivery(n).validate(n, t)
+
+
+# ----------------------------------------------------------------------
+# Arbitrary admissible window specifications: anything built within the
+# Definition 1 budgets validates, any budget violation is rejected, and
+# the counterexample JSON encoding round-trips exactly.
+# ----------------------------------------------------------------------
+@st.composite
+def admissible_window_specs(draw):
+    """(n, t, spec) with per-processor sender sets inside the budgets."""
+    n = draw(st.integers(3, 12))
+    t = draw(st.integers(0, n - 1))
+    everyone = frozenset(range(n))
+    senders_for = []
+    for _ in range(n):
+        excluded = draw(st.sets(st.integers(0, n - 1), max_size=t))
+        senders_for.append(everyone - frozenset(excluded))
+    resets = frozenset(draw(st.sets(st.integers(0, n - 1), max_size=t)))
+    deliver_last = frozenset(draw(st.sets(st.integers(0, n - 1),
+                                          max_size=n)))
+    crashes = frozenset(draw(st.sets(st.integers(0, n - 1), max_size=n)))
+    return n, t, WindowSpec(senders_for=tuple(senders_for), resets=resets,
+                            crashes=crashes, deliver_last=deliver_last)
+
+
+@given(admissible_window_specs())
+def test_admissible_window_specs_validate(drawn):
+    n, t, spec = drawn
+    spec.validate(n, t)
+    for senders in spec.senders_for:
+        assert len(senders) >= n - t
+    assert len(spec.resets) <= t
+
+
+@given(admissible_window_specs(), st.data())
+def test_budget_violations_are_rejected(drawn, data):
+    n, t, spec = drawn
+    mutation = data.draw(st.sampled_from(["starve", "over-reset",
+                                          "alien-sender"]))
+    if mutation == "starve":
+        # Shrink one sender set below n - t.
+        if n - t - 1 < 0:
+            return
+        victim = data.draw(st.integers(0, n - 1))
+        starved = frozenset(range(n - t - 1))
+        senders_for = list(spec.senders_for)
+        senders_for[victim] = starved
+        bad = WindowSpec(senders_for=tuple(senders_for))
+    elif mutation == "over-reset":
+        if t + 1 > n:
+            return
+        bad = WindowSpec(senders_for=spec.senders_for,
+                         resets=frozenset(range(t + 1)))
+    else:
+        senders_for = list(spec.senders_for)
+        senders_for[0] = senders_for[0] | {n + 3}
+        bad = WindowSpec(senders_for=tuple(senders_for))
+    with pytest.raises(InvalidWindowError):
+        bad.validate(n, t)
+
+
+@given(st.lists(admissible_window_specs(), min_size=0, max_size=5))
+def test_schedule_json_encoding_round_trips(drawn):
+    schedule = [spec for _, _, spec in drawn]
+    assert schedule_from_jsonable(schedule_to_jsonable(schedule)) \
+        == schedule
+
+
+# ----------------------------------------------------------------------
+# Protocol state machines: round counters never go backwards and the
+# write-once output bit is never retracted — under arbitrary (even
+# malformed) message streams for Ben-Or, and under arbitrary admissible
+# step schedules for Bracha.
+# ----------------------------------------------------------------------
+_ben_or_payloads = st.one_of(
+    st.tuples(st.sampled_from([REPORT, PROPOSE]), st.integers(1, 4),
+              st.sampled_from([0, 1, None])),
+    st.tuples(st.sampled_from([REPORT, PROPOSE]), st.text(max_size=2),
+              st.integers(0, 1)),
+    st.text(max_size=3),
+    st.integers(-2, 2),
+)
+
+
+@given(st.integers(0, 1),
+       st.lists(st.tuples(st.integers(0, 8), _ben_or_payloads),
+                min_size=0, max_size=60))
+def test_ben_or_rounds_monotone_and_decision_stable(input_bit, stream):
+    protocol = BenOrAgreement(pid=0, n=9, t=4, input_bit=input_bit,
+                              rng=random.Random(0))
+    previous_round, previous_phase = protocol.round, protocol.phase
+    output = protocol.output
+    for sender, payload in stream:
+        protocol.send_step()
+        protocol.receive_step(Message(sender=sender, receiver=0,
+                                      payload=payload))
+        # Round counter is monotone, and within a round the phase only
+        # moves forward (REPORT before PROPOSE).
+        assert protocol.round >= previous_round
+        if protocol.round == previous_round:
+            assert not (previous_phase == PROPOSE
+                        and protocol.phase == REPORT)
+        # The write-once output bit is never retracted or overwritten.
+        if output is not None:
+            assert protocol.decided and protocol.output == output
+        output = protocol.output
+        previous_round, previous_phase = protocol.round, protocol.phase
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 2 ** 32 - 1))
+def test_bracha_rounds_monotone_under_fuzzed_schedules(seed):
+    info = get_protocol("bracha")
+    n, t = 7, 2
+    factory = ProtocolFactory(info.protocol_cls, n=n, t=t)
+    engine = StepEngine(factory, [pid % 2 for pid in range(n)],
+                        seed=seed)
+    adversary = StepFuzzer(seed=seed)
+    adversary.bind(engine)
+    rounds = [proc.protocol.current_round()
+              for proc in engine.processors]
+    outputs = list(engine.outputs())
+    for _ in range(1500):
+        if engine.all_live_decided():
+            break
+        step = adversary.next_step(engine)
+        if step is None:
+            break
+        engine.apply_step(step)
+        for pid, proc in enumerate(engine.processors):
+            assert proc.protocol.current_round() >= rounds[pid]
+            if outputs[pid] is not None:
+                assert proc.output == outputs[pid]
+            rounds[pid] = proc.protocol.current_round()
+            outputs[pid] = proc.output
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,263 @@
+"""Verification-layer tests: traces, the invariant checker, and shrinking."""
+
+import dataclasses
+
+import pytest
+
+from repro.protocols.base import ProtocolFactory
+from repro.protocols.registry import get_protocol
+from repro.runner import TrialSpec, execute_trial
+from repro.simulation.engine import StepEngine
+from repro.simulation.events import Step
+from repro.simulation.trace import ExecutionTrace, TraceEvent
+from repro.simulation.windows import WindowEngine, WindowSpec
+from repro.verification import (InvariantChecker, ReplaySetup,
+                                load_counterexample, replay_schedule,
+                                save_counterexample,
+                                schedule_from_jsonable,
+                                schedule_to_jsonable, shrink_schedule)
+from repro.verification.invariants import INVARIANTS
+
+
+def _window_engine(protocol="reset-tolerant", n=13, t=2, seed=7,
+                   inputs=None):
+    info = get_protocol(protocol)
+    factory = ProtocolFactory(info.protocol_cls, n=n, t=t)
+    if inputs is None:
+        inputs = [pid % 2 for pid in range(n)]
+    return WindowEngine(factory, inputs, seed=seed, record_trace=True)
+
+
+# ----------------------------------------------------------------------
+# Trace recording.
+# ----------------------------------------------------------------------
+class TestTraceRecording:
+    def test_window_engine_records_all_event_kinds(self):
+        engine = _window_engine()
+        spec = WindowSpec.full_delivery(engine.n)
+        engine.run_window(spec)
+        engine.run_window(dataclasses.replace(spec,
+                                              resets=frozenset({0, 1})))
+        trace = engine.trace
+        assert trace is not None
+        assert trace.engine == "window"
+        assert len(trace.windows) == 2
+        assert trace.events_of("send")
+        assert trace.events_of("deliver")
+        assert [event.pid for event in trace.events_of("reset")] == [0, 1]
+        # Every delivery belongs to a recorded window.
+        for event in trace.events_of("deliver"):
+            assert 0 <= event.window < 2
+
+    def test_window_engine_records_decisions(self):
+        engine = _window_engine(inputs=[1] * 13)
+        while not engine.all_live_decided():
+            engine.run_window(WindowSpec.full_delivery(engine.n))
+        decisions = engine.trace.decisions()
+        assert sorted(pid for pid, _ in decisions) == list(range(13))
+        assert {value for _, value in decisions} == {1}
+
+    def test_step_engine_records_steps_and_crashes(self):
+        info = get_protocol("ben-or")
+        factory = ProtocolFactory(info.protocol_cls, n=5, t=2)
+        engine = StepEngine(factory, [0, 1, 0, 1, 0], seed=3,
+                            record_trace=True)
+        engine.apply_step(Step.send(0))
+        message = engine.pending_messages()[0]
+        engine.apply_step(Step.receive(message))
+        engine.apply_step(Step.crash(4))
+        trace = engine.trace
+        assert trace.engine == "step"
+        sends = trace.events_of("send")
+        assert sends and sends[0].pid == 0 and len(sends[0].sequences) == 5
+        delivers = trace.events_of("deliver")
+        assert delivers[0].sequence == message.sequence
+        assert trace.crashed_pids() == {4}
+
+    def test_trace_attached_to_result_only_when_requested(self):
+        engine = _window_engine()
+        engine.run_window(WindowSpec.full_delivery(engine.n))
+        assert engine.result().trace is engine.trace
+        info = get_protocol("reset-tolerant")
+        factory = ProtocolFactory(info.protocol_cls, n=13, t=2)
+        silent = WindowEngine(factory, [0] * 13, seed=1)
+        silent.run_window(WindowSpec.full_delivery(13))
+        assert silent.result().trace is None
+
+    def test_trial_spec_record_trace_plumbs_through(self):
+        spec = TrialSpec(protocol="reset-tolerant", adversary="benign",
+                         n=13, t=2, inputs=(1,) * 13, seed=0,
+                         max_windows=50, record_trace=True)
+        result = execute_trial(spec)
+        assert result.trace is not None
+        assert result.trace.inputs == spec.inputs
+        bare = execute_trial(dataclasses.replace(spec, record_trace=False))
+        assert bare.trace is None
+
+
+# ----------------------------------------------------------------------
+# The invariant checker.
+# ----------------------------------------------------------------------
+class TestInvariantChecker:
+    def test_clean_execution_passes_every_invariant(self):
+        spec = TrialSpec(protocol="reset-tolerant",
+                         adversary="schedule-fuzzer", n=13, t=2,
+                         inputs=tuple(pid % 2 for pid in range(13)),
+                         seed=11, adversary_kwargs={"seed": 4},
+                         max_windows=80, record_trace=True)
+        report = InvariantChecker().check_result(execute_trial(spec))
+        assert report.ok
+        assert report.summary() == "-"
+
+    def test_checker_requires_a_trace(self):
+        spec = TrialSpec(protocol="reset-tolerant", adversary="benign",
+                         n=13, t=2, inputs=(0,) * 13, max_windows=10)
+        with pytest.raises(ValueError, match="no trace"):
+            InvariantChecker().check_result(execute_trial(spec))
+
+    def test_agreement_and_validity_violations_detected(self, buggy_protocol):
+        engine = _window_engine(protocol=buggy_protocol)
+        for _ in range(3):
+            engine.run_window(WindowSpec.full_delivery(engine.n))
+        report = InvariantChecker().check(engine.trace)
+        assert not report.ok
+        assert "agreement" in report.violated_invariants()
+
+    def test_validity_violation_detected(self):
+        # Hand-build a trace whose only decision matches no input.
+        trace = ExecutionTrace(engine="window", n=3, t=1, inputs=(0, 0, 0))
+        trace.events.append(TraceEvent(kind="decide", pid=1, value=1))
+        report = InvariantChecker().check(trace)
+        assert report.violated_invariants() == ["validity"]
+
+    def test_decision_retraction_detected(self):
+        trace = ExecutionTrace(engine="window", n=3, t=1, inputs=(0, 1, 0))
+        trace.events.append(TraceEvent(kind="decide", pid=2, value=0))
+        trace.events.append(TraceEvent(kind="decide", pid=2, value=1))
+        report = InvariantChecker().check(trace)
+        assert "decision-stability" in report.violated_invariants()
+
+    def test_fault_bound_violation_detected(self):
+        trace = ExecutionTrace(engine="step", n=5, t=1, inputs=(0,) * 5,
+                               crash_budget=1)
+        trace.events.append(TraceEvent(kind="crash", pid=0))
+        trace.events.append(TraceEvent(kind="crash", pid=1))
+        report = InvariantChecker().check(trace)
+        assert "fault-bound" in report.violated_invariants()
+
+    def test_reset_budget_violation_detected(self):
+        trace = ExecutionTrace(engine="window", n=4, t=1, inputs=(0,) * 4)
+        trace.windows.append(WindowSpec.full_delivery(4))
+        trace.events.append(TraceEvent(kind="reset", pid=0, window=0))
+        trace.events.append(TraceEvent(kind="reset", pid=1, window=0))
+        report = InvariantChecker().check(trace)
+        assert "reset-budget" in report.violated_invariants()
+
+    def test_unacceptable_window_detected(self):
+        trace = ExecutionTrace(engine="window", n=4, t=1, inputs=(0,) * 4)
+        # Sender sets of size 2 < n - t = 3: not an acceptable window.
+        starved = frozenset({0, 1})
+        trace.windows.append(WindowSpec.uniform(4, starved))
+        report = InvariantChecker().check(trace)
+        assert "window-acceptability" in report.violated_invariants()
+
+    def test_message_causality_violations_detected(self):
+        trace = ExecutionTrace(engine="step", n=3, t=1, inputs=(0,) * 3)
+        trace.events.append(TraceEvent(kind="send", pid=0,
+                                       sequences=(0, 1)))
+        trace.events.append(TraceEvent(kind="deliver", pid=1, sequence=7,
+                                       sender=0))  # never sent
+        trace.events.append(TraceEvent(kind="deliver", pid=1, sequence=0,
+                                       sender=0))
+        trace.events.append(TraceEvent(kind="deliver", pid=1, sequence=0,
+                                       sender=0))  # duplicated
+        report = InvariantChecker().check(trace)
+        details = [v.detail for v in report.violations]
+        assert any("never sent" in detail for detail in details)
+        assert any("delivered twice" in detail for detail in details)
+
+    def test_corrupted_processors_are_excluded(self):
+        # Corrupted pid 0 "decides" 1 against unanimous-0 honest inputs:
+        # judged over honest processors only, the trace is clean.
+        trace = ExecutionTrace(engine="step", n=4, t=1, inputs=(1, 0, 0, 0))
+        trace.events.append(TraceEvent(kind="decide", pid=0, value=1))
+        trace.events.append(TraceEvent(kind="decide", pid=1, value=0))
+        assert not InvariantChecker().check(trace).ok
+        assert InvariantChecker(corrupted=(0,)).check(trace).ok
+
+    def test_invariant_names_are_stable(self):
+        assert INVARIANTS == (
+            "agreement", "validity", "decision-stability",
+            "window-acceptability", "fault-bound", "reset-budget",
+            "message-causality")
+
+
+# ----------------------------------------------------------------------
+# Replay and shrinking.
+# ----------------------------------------------------------------------
+class TestReplayAndShrink:
+    def _violating_run(self, buggy_protocol, n=9, t=1, seed=21):
+        spec = TrialSpec(protocol=buggy_protocol,
+                         adversary="schedule-fuzzer", n=n, t=t,
+                         inputs=tuple(pid % 2 for pid in range(n)),
+                         seed=seed, adversary_kwargs={"seed": 5},
+                         max_windows=30, record_trace=True)
+        result = execute_trial(spec)
+        setup = ReplaySetup(protocol=buggy_protocol, n=n, t=t,
+                            inputs=spec.inputs, seed=seed)
+        return setup, result
+
+    def test_replay_reproduces_a_traced_execution(self, buggy_protocol):
+        setup, result = self._violating_run(buggy_protocol)
+        replayed = replay_schedule(setup, result.trace.windows)
+        assert replayed.outputs == result.outputs
+        assert replayed.total_resets == result.total_resets
+        assert replayed.messages_sent == result.messages_sent
+
+    def test_injected_bug_is_caught_and_shrinks_small(self, buggy_protocol):
+        setup, result = self._violating_run(buggy_protocol)
+        checker = InvariantChecker()
+        assert not checker.check(result.trace).ok
+        shrunk = shrink_schedule(setup, result.trace.windows,
+                                 checker=checker)
+        # The acceptance bar: a short reproducer of at most 10 events.
+        assert 1 <= len(shrunk.schedule) <= 10
+        assert shrunk.violations
+        assert shrunk.original_windows >= len(shrunk.schedule)
+        # The minimized schedule still violates when replayed afresh.
+        assert not checker.check(
+            replay_schedule(setup, shrunk.schedule).trace).ok
+
+    def test_shrink_rejects_clean_schedules(self):
+        setup = ReplaySetup(protocol="reset-tolerant", n=13, t=2,
+                            inputs=(1,) * 13, seed=0)
+        schedule = [WindowSpec.full_delivery(13)] * 3
+        with pytest.raises(ValueError, match="nothing to shrink"):
+            shrink_schedule(setup, schedule)
+
+    def test_schedule_json_round_trip(self):
+        spec = WindowSpec(
+            senders_for=tuple(frozenset(range(4)) - {pid % 2}
+                              for pid in range(4)),
+            resets=frozenset({3}), crashes=frozenset(),
+            deliver_last=frozenset({1, 2}))
+        schedule = [spec, WindowSpec.full_delivery(4)]
+        assert schedule_from_jsonable(
+            schedule_to_jsonable(schedule)) == schedule
+
+    def test_counterexample_artifact_round_trip(self, tmp_path,
+                                                buggy_protocol):
+        setup, result = self._violating_run(buggy_protocol)
+        shrunk = shrink_schedule(setup, result.trace.windows)
+        path = str(tmp_path / "counterexamples" / "trial-0.json")
+        save_counterexample(path, setup, shrunk.schedule,
+                            shrunk.violations)
+        loaded_setup, loaded_schedule, loaded_violations = \
+            load_counterexample(path)
+        assert loaded_setup == setup
+        assert loaded_schedule == shrunk.schedule
+        assert loaded_violations == shrunk.violations
+        # The artifact alone reproduces the violation.
+        report = InvariantChecker().check(
+            replay_schedule(loaded_setup, loaded_schedule).trace)
+        assert not report.ok
