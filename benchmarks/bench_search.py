@@ -1,0 +1,48 @@
+"""Benchmark the guided adversary-search subsystem (`repro.search`).
+
+Runs a small fixed-budget hill-climb campaign on the E1 quick cell and
+records, besides the wall time, the campaign's candidate-evaluations per
+second as ``extra_info`` — the search throughput number the performance
+trajectory (`scripts/bench_record.py`, ``BENCH_<n>.json``) tracks.
+"""
+
+import pytest
+
+from repro.search import resolve_search_params, run_search_campaign
+
+
+@pytest.mark.benchmark(group="search-campaign")
+def test_bench_search_campaign(benchmark):
+    params = resolve_search_params(
+        protocol="reset-tolerant", strategy="hill-climb",
+        objective="undecided-rounds", generations=6, population=6,
+        windows=120, seed=0, verify=False)
+
+    report = benchmark.pedantic(
+        run_search_campaign, kwargs={"params": params, "workers": 0},
+        iterations=1, rounds=3)
+
+    evaluations = params["generations"] * params["population"]
+    benchmark.extra_info["candidate_evaluations"] = evaluations
+    benchmark.extra_info["candidate_evals_per_sec"] = \
+        evaluations / benchmark.stats.stats.mean
+    assert len(report.rows) == evaluations
+
+
+@pytest.mark.benchmark(group="search-campaign")
+def test_bench_search_campaign_verified(benchmark):
+    """The same campaign with per-candidate invariant checking on."""
+    params = resolve_search_params(
+        protocol="reset-tolerant", strategy="hill-climb",
+        objective="undecided-rounds", generations=6, population=6,
+        windows=120, seed=0, verify=True)
+
+    report = benchmark.pedantic(
+        run_search_campaign, kwargs={"params": params, "workers": 0},
+        iterations=1, rounds=3)
+
+    evaluations = params["generations"] * params["population"]
+    benchmark.extra_info["candidate_evaluations"] = evaluations
+    benchmark.extra_info["candidate_evals_per_sec"] = \
+        evaluations / benchmark.stats.stats.mean
+    assert all(row["ok"] for row in report.rows)

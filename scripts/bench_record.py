@@ -76,15 +76,24 @@ def run_benchmarks(pytest_args: list) -> dict:
 
 
 def distill(report: dict) -> dict:
-    """Reduce a pytest-benchmark report to {benchmark name: stats}."""
+    """Reduce a pytest-benchmark report to {benchmark name: stats}.
+
+    Benchmarks that attach ``extra_info`` (e.g. the search campaign's
+    candidate-evaluations/sec throughput) carry it into the trajectory
+    file verbatim, so derived rates are tracked alongside wall times.
+    """
     benchmarks = {}
     for bench in report.get("benchmarks", []):
         stats = bench.get("stats", {})
-        benchmarks[bench["fullname"]] = {
+        entry = {
             "mean_seconds": stats.get("mean"),
             "stddev_seconds": stats.get("stddev"),
             "rounds": stats.get("rounds"),
         }
+        extra = bench.get("extra_info") or {}
+        if extra:
+            entry["extra_info"] = extra
+        benchmarks[bench["fullname"]] = entry
     return benchmarks
 
 

@@ -41,6 +41,7 @@ PLANS = (
     ("E6", 6, {"trials": 2}),
     ("E7", 7, {"trials": 3}),
     ("E8", 8, {}),
+    ("E9", 9, {}),
 )
 
 

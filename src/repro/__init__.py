@@ -26,13 +26,17 @@ This package provides:
 * :mod:`repro.analysis` — product-measure tools, statistics and the
   backwards-compatible experiment wrappers.
 * :mod:`repro.experiments` — the declarative experiment registry behind
-  the EXPERIMENTS.md tables (E1–E8).
+  the EXPERIMENTS.md tables (E1–E9).
 * :mod:`repro.results` — the persistent, resumable results store.
 * :mod:`repro.verification` — the independent invariant checker, the
   adversarial schedule fuzzer, counterexample minimization, and the
   window-vs-step differential replayer.
+* :mod:`repro.search` — guided adversary search: admissibility-preserving
+  schedule optimization toward the paper's hardness objectives, with
+  replayable best-schedule artifacts.
 * :mod:`repro.cli` — the unified ``python -m repro`` / ``repro`` command
-  line (``list`` / ``run`` / ``show`` / ``fuzz``).
+  line (``list`` / ``run`` / ``show`` / ``fuzz`` / ``search`` /
+  ``replay``).
 * :mod:`repro.runner` — the parallel Monte Carlo trial runner.
 * :mod:`repro.workloads` — input assignments.
 

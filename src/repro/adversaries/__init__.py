@@ -23,6 +23,7 @@ from repro.adversaries.fuzzing import ScheduleFuzzer, StepFuzzer
 from repro.adversaries.interpolation import (CandidateEvaluation,
                                              LookaheadAdversary,
                                              interpolate_windows)
+from repro.adversaries.replay import ReplayScheduleAdversary
 from repro.adversaries.split_vote import (AdaptiveResettingAdversary,
                                           SplitVoteAdversary)
 
@@ -49,4 +50,5 @@ __all__ = [
     "SplitVoteAdversary",
     "ScheduleFuzzer",
     "StepFuzzer",
+    "ReplayScheduleAdversary",
 ]

@@ -26,6 +26,7 @@ from repro.adversaries.crash import (CrashAtDecisionAdversary,
                                      StaticCrashAdversary)
 from repro.adversaries.fuzzing import ScheduleFuzzer, StepFuzzer
 from repro.adversaries.polarizing import PolarizingAdversary
+from repro.adversaries.replay import ReplayScheduleAdversary
 from repro.adversaries.split_vote import (AdaptiveResettingAdversary,
                                           SplitVoteAdversary)
 
@@ -42,6 +43,7 @@ ADVERSARIES: Dict[str, Type] = {
     "byzantine": ByzantineAdversary,
     "schedule-fuzzer": ScheduleFuzzer,
     "step-fuzzer": StepFuzzer,
+    "replay-schedule": ReplayScheduleAdversary,
 }
 """Window- and step-adversary classes, keyed by registry name."""
 

@@ -26,6 +26,20 @@ Subcommands::
         violating schedule into a counterexample artifact.  Exits 1 when
         violations were found, 0 when the campaign is clean.
 
+    repro search [--strategy S] [--objective O] [--generations G]
+                 [--population P] [--windows W] [--protocol P] [--seed S]
+                 [--n N] [--t T] [--workers K] [--out DIR | --no-store]
+        Optimize admissible schedules toward a hardness objective
+        (:mod:`repro.search`).  Campaigns persist generation by
+        generation and resume mid-campaign; the best-found schedule is
+        saved as a replayable ``best-schedule.json`` artifact.
+
+    repro replay ARTIFACT.json
+        Re-execute any saved schedule artifact (a minimized fuzz
+        counterexample or a search best-schedule) and print the
+        independent invariant verdict.  Exits 1 when the replay violates
+        an invariant, 0 when it is clean.
+
 Works both as ``python -m repro ...`` from a source checkout and as the
 installed ``repro`` console script.
 """
@@ -43,8 +57,14 @@ from repro.analysis.statistics import format_table
 from repro.experiments import available_experiments, get_experiment
 from repro.experiments.base import Experiment
 from repro.results import RunStore, latest_run, load_run
+from repro.search.campaign import (SEARCH_EXPERIMENT,
+                                   load_schedule_artifact,
+                                   resolve_search_params,
+                                   run_search_campaign)
 from repro.verification.fuzzer import (FUZZ_EXPERIMENT, resolve_fuzz_params,
                                        run_fuzz_campaign)
+from repro.verification.invariants import InvariantChecker
+from repro.verification.shrink import replay_schedule
 
 DEFAULT_OUT = "results"
 
@@ -58,7 +78,7 @@ _DOC_PREAMBLE = """\
      The test tests/test_cli.py::test_experiments_md_in_sync regenerates
      this document and compares it against the checked-in file. -->
 
-The reproduction's eight experiments, one table each, all defined in
+The reproduction's nine experiments, one table each, all defined in
 `repro.experiments.definitions` and run through the single grid-expansion
 path of `repro.experiments.base.Experiment.run`.
 
@@ -73,6 +93,9 @@ Common front ends:
 - `python -m repro fuzz` — adversarial schedule fuzzing with independent
   invariant checking (see "Verification & fuzzing" in PERFORMANCE.md);
   campaigns persist and resume like experiment runs.
+- `python -m repro search` — guided adversary search over admissible
+  schedules (see "Adversary search" in PERFORMANCE.md); `python -m repro
+  replay` re-executes any saved schedule artifact.
 - `benchmarks/` — the same experiments under pytest-benchmark.
 - `repro.analysis.experiments.run_*` — backwards-compatible function
   wrappers (rows bit-identical to the registry path at equal seeds).
@@ -133,6 +156,25 @@ def _parse_set(assignments: Sequence[str]) -> Dict[str, Any]:
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.doc:
         sys.stdout.write(render_registry_doc())
+        return 0
+    if args.adversaries:
+        from repro.adversaries.registry import ADVERSARIES, STRATEGIES
+
+        print(format_table([
+            {"adversary": name, "class": cls.__name__}
+            for name, cls in sorted(ADVERSARIES.items())]))
+        print("\nByzantine strategies (for the 'byzantine' adversary):")
+        print(format_table([
+            {"strategy": name, "class": cls.__name__}
+            for name, cls in sorted(STRATEGIES.items())]))
+        return 0
+    if args.protocols:
+        from repro.protocols.registry import available_protocols
+
+        print(format_table([
+            {"protocol": name, "class": info.protocol_cls.__name__,
+             "fault_model": info.fault_model}
+            for name, info in sorted(available_protocols().items())]))
         return 0
     rows = [{"name": experiment.name, "alias": experiment.slug,
              "title": experiment.title,
@@ -235,12 +277,12 @@ def _cmd_show(args: argparse.Namespace) -> int:
             experiment = get_experiment(target)
             name = experiment.name
         except KeyError as error:
-            if target != FUZZ_EXPERIMENT:
+            if target not in (FUZZ_EXPERIMENT, SEARCH_EXPERIMENT):
                 return _usage_error("show", error)
-            name = FUZZ_EXPERIMENT  # fuzz campaigns are stored runs too
+            name = target  # fuzz/search campaigns are stored runs too
         found = latest_run(args.out, name)
         if found is None:
-            hint = ("fuzz" if name == FUZZ_EXPERIMENT
+            hint = (name if name in (FUZZ_EXPERIMENT, SEARCH_EXPERIMENT)
                     else f"run {name}")
             print(f"no stored runs of {name} under {args.out!r}; "
                   f"run `python -m repro {hint}` first",
@@ -315,6 +357,81 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    try:
+        params = resolve_search_params(
+            protocol=args.protocol, strategy=args.strategy,
+            objective=args.objective, generations=args.generations,
+            population=args.population, windows=args.windows,
+            seed=args.seed, n=args.n, t=args.t, workload=args.workload,
+            verify=not args.no_verify, target_score=args.target_score)
+    except (KeyError, ValueError) as error:
+        return _usage_error("search", error)
+    store, cached, was_complete = _open_store(args, SEARCH_EXPERIMENT,
+                                              params)
+    started = time.time()
+    report = run_search_campaign(params, workers=args.workers, store=store)
+    wall_time = time.time() - started
+    header = (f"== search: {params['strategy']} x "
+              f"{params['generations']}x{params['population']} toward "
+              f"{params['objective']} on {params['protocol']} "
+              f"(n={params['n']}, t={params['t']}, "
+              f"horizon {params['windows']} windows, "
+              f"seed {params['seed']}; {wall_time:.1f}s")
+    if store is not None:
+        # Writing the best-schedule artifact counts as work done, so the
+        # manifest ends up completed even on a fully cached rerun.
+        header += _finish_store(store, cached, was_complete, wall_time,
+                                unit="evaluations", extra_work=1)
+    header += ") =="
+    print(header)
+    print(format_table(report.generation_summary()))
+    print(f"\nbest score: {report.best_score} "
+          f"(generation {report.best_generation})")
+    if report.best_artifact is not None:
+        print(f"best schedule: {report.best_artifact}")
+        print("replay it with: python -m repro replay "
+              f"{report.best_artifact}")
+    findings = report.findings
+    if findings:
+        print(f"\n{len(findings)} invariant-violating candidate(s):")
+        print(format_table([
+            {"generation": row["generation"],
+             "candidate": row["candidate"],
+             "violations": row["violations"],
+             "counterexample": row.get("counterexample") or "-"}
+            for row in findings]))
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    if not os.path.isfile(args.artifact):
+        return _usage_error("replay", ValueError(
+            f"no schedule artifact at {args.artifact!r}"))
+    try:
+        setup, schedule, artifact = load_schedule_artifact(args.artifact)
+    except (KeyError, TypeError, ValueError) as error:
+        return _usage_error("replay", ValueError(
+            f"{args.artifact!r} is not a schedule artifact: {error}"))
+    result = replay_schedule(setup, schedule)
+    report = InvariantChecker().check_result(result)
+    expected = artifact.get("violations", [])
+    print(f"== replay: {len(schedule)} windows of {setup.protocol} "
+          f"(n={setup.n}, t={setup.t}, seed {setup.seed}) ==")
+    print(f"decided: {result.decided}  windows: {result.windows_elapsed}  "
+          f"resets: {result.total_resets}  "
+          f"outputs: {''.join('-' if o is None else str(o) for o in result.outputs)}")
+    if report.ok:
+        print("invariant verdict: OK (all invariants hold)")
+        if expected:
+            print(f"warning: artifact expected violations {expected}, "
+                  f"but the replay is clean")
+        return 0
+    print(f"invariant verdict: VIOLATED — {report.summary()}")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -323,10 +440,17 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
-        "list", help="list registered experiments")
+        "list", help="list registered experiments (or adversaries, "
+                     "protocols)")
     list_parser.add_argument(
         "--doc", action="store_true",
         help="emit the generated EXPERIMENTS.md document")
+    list_parser.add_argument(
+        "--adversaries", action="store_true",
+        help="list the adversary registry (and Byzantine strategies)")
+    list_parser.add_argument(
+        "--protocols", action="store_true",
+        help="list the protocol registry")
     list_parser.set_defaults(func=_cmd_list)
 
     run_parser = subparsers.add_parser(
@@ -389,6 +513,65 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument("--no-store", action="store_true",
                              help="print findings only, persist nothing")
     fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    search_parser = subparsers.add_parser(
+        "search", help="optimize admissible schedules toward a hardness "
+                       "objective (guided adversary search)")
+    search_parser.add_argument("--strategy", default="hill-climb",
+                               help="search strategy: hill-climb, anneal "
+                                    "or evolve (default: hill-climb)")
+    search_parser.add_argument("--objective", default="undecided-rounds",
+                               help="objective: undecided-rounds, "
+                                    "undecided-fraction, vote-margin or "
+                                    "invariant-violation "
+                                    "(default: undecided-rounds)")
+    search_parser.add_argument("--generations", type=int, default=25,
+                               help="search generations (default: 25)")
+    search_parser.add_argument("--population", type=int, default=8,
+                               help="candidates per generation "
+                                    "(default: 8)")
+    search_parser.add_argument("--windows", type=int, default=240,
+                               help="schedule length / evaluation horizon "
+                                    "in windows (default: 240)")
+    search_parser.add_argument("--protocol", default="reset-tolerant",
+                               help="protocol registry name "
+                                    "(default: reset-tolerant)")
+    search_parser.add_argument("--workload", default="split",
+                               help="input workload: split, unanimous-0 "
+                                    "or unanimous-1 (default: split)")
+    search_parser.add_argument("--seed", type=int, default=0,
+                               help="campaign master seed (default: 0)")
+    search_parser.add_argument("--n", type=int, default=None,
+                               help="system size (default: 12)")
+    search_parser.add_argument("--t", type=int, default=None,
+                               help="fault bound (default: the protocol's "
+                                    "maximum for n)")
+    search_parser.add_argument("--no-verify", action="store_true",
+                               help="skip the per-candidate invariant "
+                                    "check (faster evaluations)")
+    search_parser.add_argument("--target-score", type=float, default=None,
+                               help="stop once the running best reaches "
+                                    "this score (budget is unchanged)")
+    search_parser.add_argument("--workers", type=int, default=None,
+                               help="worker processes (0 = serial; "
+                                    "default: $REPRO_WORKERS or the CPU "
+                                    "count)")
+    search_parser.add_argument("--out", default=DEFAULT_OUT,
+                               help="results-store root "
+                                    "(default: results/)")
+    search_parser.add_argument("--no-store", action="store_true",
+                               help="print the summary only, persist "
+                                    "nothing")
+    search_parser.set_defaults(func=_cmd_search)
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="re-execute a saved schedule artifact and print "
+                       "the invariant verdict")
+    replay_parser.add_argument(
+        "artifact",
+        help="a schedule artifact: a fuzz counterexample or a search "
+             "best-schedule JSON file")
+    replay_parser.set_defaults(func=_cmd_replay)
 
     show_parser = subparsers.add_parser(
         "show", help="render a stored run as a table")

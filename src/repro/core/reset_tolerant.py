@@ -177,5 +177,11 @@ class ResetTolerantAgreement(Protocol):
             for sender, value in votes.items()))
         return (self.round, self.estimate, self._resyncing, vote_view)
 
+    @classmethod
+    def estimate_from_fingerprint(cls, fingerprint: Tuple) -> Optional[int]:
+        # fingerprint = (input, output, reset_count, volatile_state());
+        # the estimate is the second volatile field (see volatile_state).
+        return fingerprint[3][1]
+
 
 __all__ = ["ResetTolerantAgreement", "VOTE"]

@@ -30,7 +30,8 @@ from repro.experiments.base import Cell, Experiment, Row
 from repro.protocols.ben_or import BenOrAgreement
 from repro.protocols.committee import CommitteeElectionProtocol, failure_rate
 from repro.runner import (TrialSpec, correctness_flags, measure,
-                          message_chain_length, windows_to_first_decision)
+                          message_chain_length, undecided_windows,
+                          windows_to_first_decision)
 from repro.simulation.trace import ExecutionResult
 from repro.workloads.inputs import split, standard_workloads, unanimous
 
@@ -549,6 +550,122 @@ def _e8_cells(params: Dict[str, Any], rng: random.Random) -> List[Cell]:
 
 
 # ----------------------------------------------------------------------
+# E9: guided adversary search vs sampled and hand-written adversaries.
+# ----------------------------------------------------------------------
+# The randomized/adaptive adversaries the searched schedule is compared
+# against, at a matched evaluation budget and on the same fixed engine
+# seed, so every row answers "how undecided can this adversary keep the
+# protocol on this execution context".
+_E9_BASELINES: Tuple[str, ...] = ("schedule-fuzzer", "random-scheduler",
+                                  "split-vote", "adaptive-resetting",
+                                  "polarizing")
+
+
+def _e9_search_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.search import resolve_search_params
+
+    # verify=False: E9 measures hardness, not invariants, and skipping
+    # trace recording roughly halves the searched cell's cost.
+    return resolve_search_params(
+        protocol="reset-tolerant", strategy=params["strategy"],
+        objective="undecided-rounds", generations=params["generations"],
+        population=params["population"], windows=params["windows"],
+        seed=params["seed"], n=params["n"], verify=False)
+
+
+def _e9_row_template(params: Dict[str, Any], adversary: str,
+                     n: int, t: int) -> Row:
+    return {
+        "experiment": "E9",
+        "n": n,
+        "t": t,
+        "adversary": adversary,
+        "evaluations": params["generations"] * params["population"],
+        "best_undecided_windows": None,
+        "mean_undecided_windows": None,
+        "decided_fraction": None,
+        "analytic_expected_windows": None,
+    }
+
+
+def _e9_searched_row(results: Sequence[ExecutionResult], *,
+                     params: Dict[str, Any], n: int, t: int) -> Row:
+    # The search campaign's adaptive generations cannot be pre-declared
+    # as specs, so this cell is analytic-style (no runner specs) and the
+    # campaign fans its own generations out instead.  Campaign rows are
+    # bit-identical across worker counts, so using the default worker
+    # pool here never changes the row.
+    from repro.search import run_search_campaign
+
+    report = run_search_campaign(_e9_search_params(params), workers=None)
+    scores = [row["score"] for row in report.rows]
+    row = _e9_row_template(params, "searched", n, t)
+    row["best_undecided_windows"] = report.best_score
+    row["mean_undecided_windows"] = sum(scores) / len(scores)
+    row["decided_fraction"] = \
+        sum(1 for r in report.rows if r["decided"]) / len(report.rows)
+    return row
+
+
+def _e9_baseline_row(results: Sequence[ExecutionResult], *,
+                     params: Dict[str, Any], adversary: str, n: int,
+                     t: int) -> Row:
+    scores = measure(results, undecided_windows)
+    row = _e9_row_template(params, adversary, n, t)
+    row["best_undecided_windows"] = max(scores)
+    row["mean_undecided_windows"] = sum(scores) / len(scores)
+    row["decided_fraction"] = \
+        sum(1 for result in results if result.decided) / len(results)
+    return row
+
+
+def _e9_analytic_row(results: Sequence[ExecutionResult], *,
+                     params: Dict[str, Any], n: int, t: int) -> Row:
+    row = _e9_row_template(params, "analytic (split-vote)", n, t)
+    row["evaluations"] = None
+    row["analytic_expected_windows"] = split_vote_analysis(
+        default_thresholds(n, t)).expected_windows
+    return row
+
+
+def _e9_cells(params: Dict[str, Any], rng: random.Random) -> List[Cell]:
+    from repro.search import campaign_sampler, campaign_setup
+
+    n = params["n"]
+    t = max_tolerable_t(n)
+    search_params = _e9_search_params(params)
+    setup = campaign_setup(search_params)
+    budget = params["generations"] * params["population"]
+    cells: List[Cell] = [Cell(
+        key=("E9", "searched"), specs=(),
+        build_row=partial(_e9_searched_row, params=params, n=n, t=t))]
+    sampler = campaign_sampler(search_params)
+    for adversary in _E9_BASELINES:
+        # The fuzzer baseline must sample from the same window
+        # distribution the search mutates with, or the searched-vs-
+        # sampled gap would partly measure a distribution mismatch.
+        fuzz_kwargs = (
+            {"reset_probability": sampler.reset_probability,
+             "deliver_last_probability": sampler.deliver_last_probability}
+            if adversary == "schedule-fuzzer" else {})
+        specs = tuple(TrialSpec(
+            protocol="reset-tolerant", adversary=adversary,
+            n=n, t=t, inputs=setup.inputs,
+            adversary_kwargs={"seed": rng.getrandbits(32), **fuzz_kwargs},
+            seed=setup.seed, max_windows=params["windows"],
+            stop_when="first", tag=("E9", adversary))
+            for _ in range(budget))
+        cells.append(Cell(
+            key=("E9", adversary), specs=specs,
+            build_row=partial(_e9_baseline_row, params=params,
+                              adversary=adversary, n=n, t=t)))
+    cells.append(Cell(
+        key=("E9", "analytic"), specs=(),
+        build_row=partial(_e9_analytic_row, params=params, n=n, t=t)))
+    return cells
+
+
+# ----------------------------------------------------------------------
 # The experiment objects.
 # ----------------------------------------------------------------------
 EXPERIMENTS: Tuple[Experiment, ...] = (
@@ -693,6 +810,26 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
                     "predicted_windows", "success_probability", "set",
                     "radius", "P[A]*(1-P[B(A,d)])", "talagrand_bound",
                     "inequality_holds"),
+    ),
+    Experiment(
+        name="E9", slug="adversary-search",
+        title="Guided adversary search vs sampled/hand-written adversaries",
+        description=(
+            "How undecided each adversary keeps the reset-tolerant "
+            "protocol on one fixed execution context at a matched "
+            "evaluation budget: a guided `repro.search` campaign "
+            "(hill-climbing over admissible schedules, undecided-rounds "
+            "objective) against equal-budget schedule-fuzzer sampling, "
+            "the hand-written strongly adaptive adversaries, and the "
+            "analytic exponential-window prediction of "
+            "split_vote_analysis."),
+        defaults={"n": 12, "generations": 25, "population": 8,
+                  "windows": 240, "strategy": "hill-climb", "seed": 0},
+        quick_overrides={"generations": 5, "population": 4, "windows": 60},
+        build_cells=_e9_cells,
+        row_schema=("experiment", "n", "t", "adversary", "evaluations",
+                    "best_undecided_windows", "mean_undecided_windows",
+                    "decided_fraction", "analytic_expected_windows"),
     ),
 )
 

@@ -186,6 +186,19 @@ class Protocol(abc.ABC):
         return (self.input_bit, self._output, self._reset_count,
                 self.volatile_state())
 
+    @classmethod
+    def estimate_from_fingerprint(cls, fingerprint: Tuple) -> Optional[int]:
+        """The current estimate encoded in a state fingerprint, if any.
+
+        Configuration snapshots carry state *fingerprints*, not live
+        protocol objects, so post-hoc analyses (e.g. the vote-margin
+        objective of :mod:`repro.search.objectives`) need the protocol
+        class to say where in its volatile state the estimate lives.
+        The default returns ``None`` ("not exposed"); protocols with a
+        single current estimate should override.
+        """
+        return None
+
     def current_estimate(self) -> Optional[int]:
         """The protocol's current preferred bit, if it has one.
 

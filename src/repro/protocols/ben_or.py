@@ -183,5 +183,11 @@ class BenOrAgreement(Protocol):
         return (self.round, self.phase, self.estimate, self.proposal,
                 received_view)
 
+    @classmethod
+    def estimate_from_fingerprint(cls, fingerprint: Tuple) -> Optional[int]:
+        # fingerprint = (input, output, reset_count, volatile_state());
+        # the estimate is the third volatile field (see volatile_state).
+        return fingerprint[3][2]
+
 
 __all__ = ["BenOrAgreement", "REPORT", "PROPOSE"]

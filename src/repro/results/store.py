@@ -107,6 +107,18 @@ class RunStore(RowStore):
         """Mark the run complete and record its wall time."""
         self._write_manifest(completed=True, wall_time=wall_time)
 
+    # -- artifacts ----------------------------------------------------
+    def artifact_path(self, *parts: str) -> str:
+        """An absolute path for an artifact file inside the run directory.
+
+        Creates the parent directory, so callers (the fuzz campaign's
+        minimized counterexamples, the search campaign's best-schedule
+        files) can write straight to the returned path.
+        """
+        path = os.path.join(self.path, *parts)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        return path
+
     # -- reading back -------------------------------------------------
     @property
     def manifest(self) -> Dict[str, Any]:

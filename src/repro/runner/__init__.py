@@ -12,6 +12,7 @@ See ``PERFORMANCE.md`` at the repository root for the usage guide.
 
 from repro.runner.aggregate import (correctness_flags, group_by_tag,
                                     measure, message_chain_length,
+                                    undecided_windows,
                                     windows_to_first_decision)
 from repro.runner.parallel import (ParallelRunner, default_workers,
                                    iter_trials, run_trials)
@@ -31,6 +32,7 @@ __all__ = [
     "group_by_tag",
     "measure",
     "windows_to_first_decision",
+    "undecided_windows",
     "message_chain_length",
     "correctness_flags",
 ]

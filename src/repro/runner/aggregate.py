@@ -57,6 +57,20 @@ def windows_to_first_decision(result: ExecutionResult) -> float:
     return float(result.first_decision_window or result.windows_elapsed)
 
 
+def undecided_windows(result: ExecutionResult) -> float:
+    """Acceptable windows that fully elapsed with no processor decided.
+
+    This is the adversary's score in the hardness experiments (E9) and the
+    default objective of :mod:`repro.search`: the window of the first
+    decision does not count (the adversary failed to keep it undecided),
+    while an execution that exhausted its window cap undecided scores every
+    window it survived.
+    """
+    if result.first_decision_window is None:
+        return float(result.windows_elapsed)
+    return float(result.first_decision_window - 1)
+
+
 def message_chain_length(result: ExecutionResult) -> float:
     """Deciding message-chain length, falling back to windows elapsed."""
     chain = result.message_chain_length
@@ -82,6 +96,7 @@ __all__ = [
     "group_by_tag",
     "measure",
     "windows_to_first_decision",
+    "undecided_windows",
     "message_chain_length",
     "correctness_flags",
 ]

@@ -1,0 +1,445 @@
+"""Search campaigns: seed-deterministic, parallel, resumable optimization.
+
+A *campaign* optimizes a window schedule against one protocol toward one
+objective with one strategy.  It runs in generations: the strategy
+proposes a batch of candidate schedules, every candidate is evaluated as a
+``replay-schedule`` trial fanned out through :mod:`repro.runner` (so
+worker count changes wall-clock time only, never values), the scores feed
+back into the strategy, repeat.  Every trace is re-checked by the
+independent :class:`~repro.verification.invariants.InvariantChecker`;
+violating candidates are shrunk into counterexample artifacts by the
+existing :mod:`repro.verification.shrink` machinery.
+
+Campaigns persist through :class:`repro.results.RunStore` under the
+pseudo-experiment name ``"search"``: one row per candidate evaluation,
+streamed as generations finish.  Because candidate genomes are a pure
+function of the campaign seed and the observed scores, a resumed campaign
+re-derives the proposal sequence and skips every evaluation the store
+already holds — kill/resume is bit-identical to an uninterrupted run.
+The best-found schedule is written as ``best-schedule.json`` in the run
+directory, in the same self-contained artifact format as the fuzz
+counterexamples, so ``repro replay`` (and the ``replay-schedule``
+adversary) can re-execute it anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.protocols.registry import get_protocol
+from repro.results.store import RunStore
+from repro.runner import TrialSpec, derive_seed, iter_trials
+from repro.search.mutations import Schedule, WindowSampler, is_admissible
+from repro.search.objectives import OBJECTIVES, Objective, build_objective
+from repro.search.strategies import (STRATEGIES, SearchStrategy,
+                                     build_strategy)
+from repro.simulation.trace import ExecutionResult
+from repro.simulation.windows import WindowSpec
+from repro.verification.invariants import InvariantChecker
+from repro.verification.shrink import (ReplaySetup,
+                                       parse_schedule_artifact,
+                                       save_counterexample,
+                                       schedule_to_jsonable,
+                                       shrink_schedule)
+from repro.workloads.inputs import split, unanimous
+
+SEARCH_EXPERIMENT = "search"
+"""Results-store experiment name search campaigns are filed under."""
+
+BEST_ARTIFACT = "best-schedule.json"
+"""File name of the best-found schedule artifact inside a run directory."""
+
+COUNTEREXAMPLE_DIR = "counterexamples"
+"""Subdirectory of a search run holding shrunk violating schedules."""
+
+_ENGINE_SALT = 0xE9E9E9
+
+ROW_SCHEMA: Tuple[str, ...] = (
+    "generation", "candidate", "score", "undecided_windows", "decided",
+    "windows", "total_resets", "ok", "violations", "best_score",
+    "counterexample")
+"""Column set of every search-campaign row."""
+
+
+def _score_to_stored(score: float) -> Optional[float]:
+    """Scores as stored in rows/artifacts: strict JSON, no ``Infinity``.
+
+    The invariant-violation objective scores hits ``math.inf``; rows and
+    artifacts encode that as ``null`` (the ``ok``/``violations`` columns
+    carry the why) so every persisted file stays parseable by strict
+    RFC-JSON tooling.
+    """
+    return score if math.isfinite(score) else None
+
+
+def _score_from_stored(value: Optional[float]) -> float:
+    """The inverse of :func:`_score_to_stored`."""
+    return math.inf if value is None else value
+
+_WORKLOADS = {
+    "split": split,
+    "unanimous-0": lambda n: unanimous(n, 0),
+    "unanimous-1": lambda n: unanimous(n, 1),
+}
+
+
+def resolve_search_params(protocol: str = "reset-tolerant",
+                          strategy: str = "hill-climb",
+                          objective: str = "undecided-rounds",
+                          generations: int = 25, population: int = 8,
+                          windows: int = 240, seed: int = 0,
+                          n: Optional[int] = None, t: Optional[int] = None,
+                          workload: str = "split", verify: bool = True,
+                          target_score: Optional[float] = None
+                          ) -> Dict[str, Any]:
+    """Fill in campaign defaults, returning the canonical parameter dict.
+
+    The dict is what the results store digests, so two invocations with
+    the same resolved parameters share one run directory (and resume).
+    The evaluation inputs and engine seed are resolved here — candidates
+    compete on one fixed execution context, which is what lets the search
+    exploit replay determinism.
+
+    Args:
+        verify: re-check every candidate's trace with the independent
+            invariant checker (and shrink violations into counterexample
+            artifacts).  Disabling skips trace recording for objectives
+            that do not need it, roughly halving evaluation cost.
+        target_score: stop the campaign at the end of the first
+            generation whose running best reaches this score (the
+            allotted evaluation budget stays ``generations *
+            population``; a hit simply stops spending it).
+    """
+    info = get_protocol(protocol)
+    if n is None:
+        n = 12
+    if n <= 1:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if t is None:
+        t = info.max_faults(n)
+    if t <= 0:
+        raise ValueError(
+            f"protocol {protocol!r} tolerates no faults at n={n}; "
+            f"choose a larger n")
+    if t >= n:
+        raise ValueError(f"fault bound t={t} must satisfy t < n={n}")
+    if strategy not in STRATEGIES:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ValueError(
+            f"unknown search strategy {strategy!r}; known: {known}")
+    if objective not in OBJECTIVES:
+        known = ", ".join(sorted(OBJECTIVES))
+        raise ValueError(
+            f"unknown objective {objective!r}; known: {known}")
+    if generations <= 0:
+        raise ValueError(f"generations must be positive, got {generations}")
+    if population <= 0:
+        raise ValueError(f"population must be positive, got {population}")
+    if windows <= 0:
+        raise ValueError(f"windows must be positive, got {windows}")
+    if workload not in _WORKLOADS:
+        known = ", ".join(sorted(_WORKLOADS))
+        raise ValueError(f"unknown workload {workload!r}; known: {known}")
+    if objective == "invariant-violation" and not verify:
+        raise ValueError(
+            "the invariant-violation objective requires verify=True")
+    # Constructing the objective validates protocol-specific requirements
+    # (e.g. vote-margin needs the estimate_from_fingerprint hook) before
+    # any run directory is created.
+    build_objective(objective, protocol=protocol)
+    inputs = "".join(str(bit) for bit in _WORKLOADS[workload](n))
+    return {"protocol": protocol, "strategy": strategy,
+            "objective": objective, "n": n, "t": t,
+            "generations": generations, "population": population,
+            "windows": windows, "seed": seed, "workload": workload,
+            "inputs": inputs, "verify": bool(verify),
+            "target_score": target_score,
+            "engine_seed": derive_seed(seed, _ENGINE_SALT) & 0xFFFFFFFF}
+
+
+def campaign_sampler(params: Dict[str, Any]) -> WindowSampler:
+    """The window-sampling distribution, following the fault model.
+
+    Resets are the strongly adaptive adversary's weapon, crashes the
+    classical crash adversary's — the same convention fuzz campaigns use.
+    """
+    crash_model = \
+        "crash" in get_protocol(params["protocol"]).fault_model.lower()
+    return WindowSampler(
+        n=params["n"], t=params["t"],
+        reset_probability=0.0 if crash_model else 0.35,
+        crash_probability=0.25 if crash_model else 0.0)
+
+
+def campaign_strategy(params: Dict[str, Any]) -> SearchStrategy:
+    """The (freshly seeded) strategy instance of a campaign."""
+    return build_strategy(params["strategy"], sampler=campaign_sampler(params),
+                          horizon=params["windows"],
+                          population=params["population"],
+                          seed=params["seed"])
+
+
+def campaign_objective(params: Dict[str, Any]) -> Objective:
+    """The objective instance of a campaign."""
+    return build_objective(params["objective"], protocol=params["protocol"])
+
+
+def campaign_setup(params: Dict[str, Any]) -> ReplaySetup:
+    """The fixed execution context every candidate is evaluated in."""
+    return ReplaySetup(
+        protocol=params["protocol"], n=params["n"], t=params["t"],
+        inputs=tuple(int(bit) for bit in params["inputs"]),
+        seed=params["engine_seed"])
+
+
+def candidate_spec(params: Dict[str, Any], objective: Objective,
+                   schedule: Schedule, generation: int,
+                   candidate: int) -> TrialSpec:
+    """The runner trial evaluating one candidate schedule."""
+    return TrialSpec(
+        protocol=params["protocol"], adversary="replay-schedule",
+        n=params["n"], t=params["t"],
+        inputs=tuple(int(bit) for bit in params["inputs"]),
+        seed=params["engine_seed"],
+        adversary_kwargs={"schedule": schedule_to_jsonable(schedule)},
+        max_windows=params["windows"], stop_when=objective.stop_when,
+        record_trace=params.get("verify", True) or objective.needs_trace,
+        record_configurations=objective.needs_configurations,
+        tag=(SEARCH_EXPERIMENT, generation, candidate))
+
+
+@dataclass
+class SearchReport:
+    """The outcome of one search campaign.
+
+    Attributes:
+        params: the resolved campaign parameters.
+        rows: one row dict per candidate evaluation, in (generation,
+            candidate) order.
+        best_score: the best objective score found.
+        best_schedule: the best-found schedule (``None`` only for empty
+            campaigns).
+        best_generation: the generation the best candidate appeared in.
+        run_dir: the results-store directory (``None`` for unstored runs).
+        best_artifact: path of the saved best-schedule artifact, if any.
+        computed_evaluations: evaluations actually executed this run (the
+            rest came cached from the store).
+    """
+
+    params: Dict[str, Any]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    best_score: float = -math.inf
+    best_schedule: Optional[Schedule] = None
+    best_generation: Optional[int] = None
+    run_dir: Optional[str] = None
+    best_artifact: Optional[str] = None
+    computed_evaluations: int = 0
+
+    @property
+    def findings(self) -> List[Dict[str, Any]]:
+        """The invariant-violating rows only (``ok is None`` = unchecked)."""
+        return [row for row in self.rows if row["ok"] is False]
+
+    def generation_summary(self) -> List[Dict[str, Any]]:
+        """One row per generation: best / mean score, running best."""
+        summary: List[Dict[str, Any]] = []
+        by_generation: Dict[int, List[Dict[str, Any]]] = {}
+        for row in self.rows:
+            by_generation.setdefault(row["generation"], []).append(row)
+        running = -math.inf
+        for generation in sorted(by_generation):
+            rows = by_generation[generation]
+            scores = [_score_from_stored(row["score"]) for row in rows]
+            running = max(running, max(scores))
+            finite = [score for score in scores if math.isfinite(score)]
+            summary.append({
+                "generation": generation,
+                "candidates": len(rows),
+                "best_score": max(scores),
+                "mean_score": (sum(finite) / len(finite)
+                               if finite else math.inf),
+                "best_so_far": running,
+                "violations": sum(1 for row in rows
+                                  if row["ok"] is False),
+            })
+        return summary
+
+
+def _evaluation_row(params: Dict[str, Any], objective: Objective,
+                    checker: InvariantChecker, generation: int,
+                    candidate: int, result: ExecutionResult,
+                    best_so_far: float) -> Dict[str, Any]:
+    if params.get("verify", True):
+        report = checker.check_result(result)
+        ok: Optional[bool] = report.ok
+        violations = report.summary()
+        score = objective.score_checked(result, report)
+    else:
+        ok, violations = None, "-"  # not checked (verify=False)
+        score = objective.score(result)
+    return {
+        "generation": generation,
+        "candidate": candidate,
+        "score": _score_to_stored(score),
+        "undecided_windows": objective.frontier(result),
+        "decided": result.decided,
+        "windows": result.windows_elapsed,
+        "total_resets": result.total_resets,
+        "ok": ok,
+        "violations": violations,
+        "best_score": _score_to_stored(max(best_so_far, score)),
+        "counterexample": None,
+    }
+
+
+def _shrink_finding(params: Dict[str, Any], schedule: Schedule,
+                    store: RunStore, generation: int,
+                    candidate: int) -> str:
+    """Shrink one violating candidate into a counterexample artifact."""
+    setup = campaign_setup(params)
+    shrunk = shrink_schedule(setup, schedule)
+    relative = os.path.join(
+        COUNTEREXAMPLE_DIR, f"gen-{generation}-cand-{candidate}.json")
+    save_counterexample(store.artifact_path(relative), setup,
+                        shrunk.schedule, shrunk.violations)
+    return relative
+
+
+def save_best_artifact(path: str, params: Dict[str, Any],
+                       report: SearchReport) -> None:
+    """Write the best-found schedule as a self-contained artifact.
+
+    The format is the schedule-artifact format of
+    :func:`repro.verification.shrink.save_counterexample` (so
+    ``repro replay`` handles both), extended with the campaign's
+    objective and score for provenance.
+    """
+    assert report.best_schedule is not None
+    setup = campaign_setup(params)
+    artifact = {
+        "protocol": setup.protocol,
+        "n": setup.n,
+        "t": setup.t,
+        "inputs": list(setup.inputs),
+        "seed": setup.seed,
+        "protocol_kwargs": {},
+        "violations": [],
+        "schedule": schedule_to_jsonable(report.best_schedule),
+        "objective": params["objective"],
+        "strategy": params["strategy"],
+        "score": _score_to_stored(report.best_score),
+        "generation": report.best_generation,
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True,
+                  allow_nan=False)
+        handle.write("\n")
+
+
+def run_search_campaign(params: Dict[str, Any],
+                        workers: Optional[int] = None,
+                        store: Optional[RunStore] = None) -> SearchReport:
+    """Run (or resume) a search campaign.
+
+    Args:
+        params: resolved parameters from :func:`resolve_search_params`.
+        workers: worker processes for the per-generation evaluation
+            fan-out (0 = serial).
+        store: an open results store; evaluations whose rows it already
+            holds are skipped (their scores feed the strategy from cache),
+            and the best-schedule artifact is written into it.
+    """
+    from repro.experiments.base import cell_key_id
+
+    strategy = campaign_strategy(params)
+    objective = campaign_objective(params)
+    checker = InvariantChecker()
+    completed: Dict[str, Dict[str, Any]] = \
+        store.completed_rows() if store is not None else {}
+    report = SearchReport(
+        params=params,
+        run_dir=store.path if store is not None else None)
+    best_so_far = -math.inf
+    for generation in range(params["generations"]):
+        genomes = strategy.propose(generation)
+        assert all(is_admissible(genome, params["n"], params["t"])
+                   for genome in genomes), \
+            "strategy proposed an inadmissible schedule"
+        keys = [(SEARCH_EXPERIMENT, generation, candidate)
+                for candidate in range(len(genomes))]
+        pending = [candidate for candidate, key in enumerate(keys)
+                   if cell_key_id(key) not in completed]
+        stream = iter_trials(
+            [candidate_spec(params, objective, genomes[candidate],
+                            generation, candidate)
+             for candidate in pending],
+            workers=workers)
+        fresh: Dict[int, Dict[str, Any]] = {}
+        for candidate in pending:
+            result = next(stream)
+            row = _evaluation_row(params, objective, checker, generation,
+                                  candidate, result, best_so_far)
+            if row["ok"] is False and store is not None:
+                row["counterexample"] = _shrink_finding(
+                    params, genomes[candidate], store, generation,
+                    candidate)
+            fresh[candidate] = row
+            report.computed_evaluations += 1
+            if store is not None:
+                index = generation * params["population"] + candidate
+                store.write_row(index, keys[candidate], row)
+        rows = [completed.get(cell_key_id(key), fresh.get(candidate))
+                for candidate, key in enumerate(keys)]
+        scores = [_score_from_stored(row["score"]) for row in rows]
+        frontiers = [int(row["undecided_windows"]) for row in rows]
+        best_so_far = max(best_so_far, max(scores))
+        strategy.observe(generation, genomes, scores, frontiers)
+        report.rows.extend(rows)
+        target = params.get("target_score")
+        if target is not None and best_so_far >= target:
+            break  # target hit: stop spending the remaining budget
+    report.best_score = strategy.best_score
+    report.best_schedule = strategy.best_schedule
+    report.best_generation = strategy.best_generation
+    if store is not None and report.best_schedule is not None:
+        path = store.artifact_path(BEST_ARTIFACT)
+        save_best_artifact(path, params, report)
+        report.best_artifact = path
+    return report
+
+
+def load_schedule_artifact(path: str) -> Tuple[ReplaySetup, Schedule,
+                                               Dict[str, Any]]:
+    """Load any schedule artifact: (setup, schedule, full metadata).
+
+    Handles both fuzz counterexamples and search best-schedule files —
+    they share the core format; extra keys come back in the metadata
+    dict.
+    """
+    with open(path) as handle:
+        artifact = json.load(handle)
+    setup, schedule = parse_schedule_artifact(artifact)
+    return setup, schedule, artifact
+
+
+__all__ = [
+    "SEARCH_EXPERIMENT",
+    "BEST_ARTIFACT",
+    "COUNTEREXAMPLE_DIR",
+    "ROW_SCHEMA",
+    "resolve_search_params",
+    "campaign_sampler",
+    "campaign_strategy",
+    "campaign_objective",
+    "campaign_setup",
+    "candidate_spec",
+    "SearchReport",
+    "run_search_campaign",
+    "save_best_artifact",
+    "load_schedule_artifact",
+]

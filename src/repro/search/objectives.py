@@ -1,0 +1,230 @@
+"""Pluggable search objectives scored from recorded executions.
+
+An :class:`Objective` turns one evaluated candidate — an
+:class:`~repro.simulation.trace.ExecutionResult` with its recorded
+:class:`~repro.simulation.trace.ExecutionTrace` — into a scalar score,
+higher meaning *harder for the protocol* (the direction Theorem 5's
+adversary optimizes).  Objectives also tell the campaign how to run the
+evaluation (``stop_when``, whether configuration snapshots are needed) and
+where a candidate's *failure frontier* lies, which is where the guided
+mutation operators of :mod:`repro.search.mutations` concentrate.
+
+Registered objectives:
+
+``undecided-rounds``
+    Acceptable windows fully elapsed before the first decision — the
+    paper's running-time measure, and the default.
+``undecided-fraction``
+    The fraction of processors still undecided at window ``k`` (default:
+    the horizon), from the trace's decision events.
+``vote-margin``
+    Minimizes the mean vote margin ``|#estimate=1 - #estimate=0|`` across
+    the recorded per-window configurations — the balanced-vote knife edge
+    the split-vote adversary of Section 3 maintains.  Requires a protocol
+    that exposes its estimate via
+    :meth:`~repro.protocols.base.Protocol.estimate_from_fingerprint`.
+``invariant-violation``
+    Infinite score for any candidate whose trace fails the independent
+    :class:`~repro.verification.invariants.InvariantChecker` — the
+    shortcut that turns a search campaign into a guided bug hunt (the
+    campaign shrinks such candidates into counterexample artifacts).
+    Scores clean candidates with a base objective so the search still has
+    a gradient toward long, adversarial executions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Type
+
+from repro.protocols.registry import get_protocol
+from repro.runner import undecided_windows
+from repro.simulation.trace import ExecutionResult
+from repro.verification.invariants import InvariantChecker
+
+
+class Objective:
+    """Interface every search objective implements."""
+
+    name: str = ""
+    stop_when: str = "first"
+    needs_trace: bool = False
+    needs_configurations: bool = False
+
+    def score(self, result: ExecutionResult) -> float:
+        """The candidate's score; higher is harder for the protocol."""
+        raise NotImplementedError
+
+    def score_checked(self, result: ExecutionResult,
+                      report=None) -> float:
+        """Score with an already-computed invariant report, if available.
+
+        The campaign checks every trace once for its rows; objectives
+        that consume the verdict (invariant-violation) override this to
+        reuse that report instead of re-deriving it.
+        """
+        return self.score(result)
+
+    def frontier(self, result: ExecutionResult) -> int:
+        """The window index where the candidate failed (mutation target)."""
+        return int(undecided_windows(result))
+
+
+class UndecidedRoundsObjective(Objective):
+    """Windows fully elapsed with no processor decided (the default)."""
+
+    name = "undecided-rounds"
+
+    def score(self, result: ExecutionResult) -> float:
+        return undecided_windows(result)
+
+
+class UndecidedFractionObjective(Objective):
+    """Fraction of processors still undecided at window ``k``.
+
+    Args:
+        k: the window the fraction is measured at; ``None`` measures at
+            the end of the evaluated execution (the horizon, for
+            executions that never decided).
+    """
+
+    name = "undecided-fraction"
+    stop_when = "all"
+    needs_trace = True
+
+    def __init__(self, k: Optional[int] = None) -> None:
+        if k is not None and k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+
+    def score(self, result: ExecutionResult) -> float:
+        if result.trace is None:
+            raise ValueError(
+                "undecided-fraction needs a recorded trace; evaluate "
+                "candidates with record_trace=True")
+        cutoff = self.k if self.k is not None else result.windows_elapsed
+        decided = {event.pid for event in result.trace.events
+                   if event.kind == "decide" and event.window is not None
+                   and event.window < cutoff}
+        return 1.0 - len(decided) / result.n
+
+
+class VoteMarginObjective(Objective):
+    """Minimizes the mean per-window vote margin (balanced-vote pressure).
+
+    The score is ``-mean(|ones - zeros|) / n`` over the recorded
+    configuration snapshots, so a schedule that pins the protocol to the
+    split-vote knife edge scores near 0 and lopsided executions score
+    toward -1.
+
+    Args:
+        protocol: protocol registry name, used to resolve the
+            estimate-extraction hook.
+    """
+
+    name = "vote-margin"
+    needs_configurations = True
+
+    def __init__(self, protocol: str) -> None:
+        from repro.protocols.base import Protocol
+
+        self.protocol = protocol
+        self._protocol_cls = get_protocol(protocol).protocol_cls
+        hook = self._protocol_cls.estimate_from_fingerprint
+        if hook.__func__ is Protocol.estimate_from_fingerprint.__func__:
+            raise ValueError(
+                f"protocol {protocol!r} does not expose its estimate via "
+                f"estimate_from_fingerprint; the vote-margin objective "
+                f"cannot score it")
+
+    def score(self, result: ExecutionResult) -> float:
+        if not result.configurations:
+            raise ValueError(
+                "vote-margin needs configuration snapshots; evaluate "
+                "candidates with record_configurations=True")
+        extract = self._protocol_cls.estimate_from_fingerprint
+        margins = []
+        for configuration in result.configurations:
+            estimates = [extract(state) for state in configuration.states]
+            ones = sum(1 for estimate in estimates if estimate == 1)
+            zeros = sum(1 for estimate in estimates if estimate == 0)
+            margins.append(abs(ones - zeros) / result.n)
+        return -sum(margins) / len(margins)
+
+
+class InvariantViolationObjective(Objective):
+    """Infinite score on invariant violations, base gradient otherwise.
+
+    Args:
+        checker: the invariant checker defining "violation"; defaults to
+            a fresh :class:`InvariantChecker` with no corrupted set.
+        base: objective scoring the violation-free candidates (defaults
+            to :class:`UndecidedRoundsObjective`, whose long undecided
+            executions give violations the most windows to surface in).
+    """
+
+    name = "invariant-violation"
+    needs_trace = True
+
+    def __init__(self, checker: Optional[InvariantChecker] = None,
+                 base: Optional[Objective] = None) -> None:
+        self.checker = checker or InvariantChecker()
+        self.base = base or UndecidedRoundsObjective()
+        self.stop_when = self.base.stop_when
+        self.needs_configurations = self.base.needs_configurations
+
+    def score(self, result: ExecutionResult) -> float:
+        return self.score_checked(result)
+
+    def score_checked(self, result: ExecutionResult,
+                      report=None) -> float:
+        if report is None:
+            report = self.checker.check_result(result)
+        if not report.ok:
+            return math.inf
+        return self.base.score(result)
+
+
+OBJECTIVES: Dict[str, Type[Objective]] = {
+    UndecidedRoundsObjective.name: UndecidedRoundsObjective,
+    UndecidedFractionObjective.name: UndecidedFractionObjective,
+    VoteMarginObjective.name: VoteMarginObjective,
+    InvariantViolationObjective.name: InvariantViolationObjective,
+}
+"""Registered objective classes, keyed by name."""
+
+
+def build_objective(name: str, protocol: str,
+                    **kwargs: Any) -> Objective:
+    """Instantiate a registered objective.
+
+    Args:
+        name: objective registry name.
+        protocol: the campaign's protocol (consumed by objectives that
+            need protocol introspection; ignored by the others).
+        kwargs: extra objective-specific arguments (e.g. ``k`` for
+            ``undecided-fraction``).
+
+    Raises:
+        KeyError: with the list of known names, when the name is unknown.
+    """
+    try:
+        objective_cls = OBJECTIVES[name]
+    except KeyError:
+        known = ", ".join(sorted(OBJECTIVES))
+        raise KeyError(
+            f"unknown objective {name!r}; known objectives: {known}")
+    if objective_cls is VoteMarginObjective:
+        return VoteMarginObjective(protocol=protocol, **kwargs)
+    return objective_cls(**kwargs)
+
+
+__all__ = [
+    "Objective",
+    "UndecidedRoundsObjective",
+    "UndecidedFractionObjective",
+    "VoteMarginObjective",
+    "InvariantViolationObjective",
+    "OBJECTIVES",
+    "build_objective",
+]

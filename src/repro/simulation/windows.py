@@ -69,6 +69,31 @@ class WindowSpec:
         everyone = frozenset(range(n))
         return WindowSpec(senders_for=tuple(everyone for _ in range(n)))
 
+    def to_jsonable(self) -> dict:
+        """A plain-JSON encoding of this window specification.
+
+        The encoding is the schedule-artifact format shared by the fuzz
+        counterexamples (:mod:`repro.verification.shrink`), the search
+        best-schedule artifacts (:mod:`repro.search`) and the
+        ``replay-schedule`` adversary's picklable constructor kwargs.
+        """
+        return {
+            "senders_for": [sorted(senders) for senders in self.senders_for],
+            "resets": sorted(self.resets),
+            "crashes": sorted(self.crashes),
+            "deliver_last": sorted(self.deliver_last),
+        }
+
+    @staticmethod
+    def from_jsonable(data: dict) -> "WindowSpec":
+        """Rebuild a window specification from its JSON encoding."""
+        return WindowSpec(
+            senders_for=tuple(frozenset(senders)
+                              for senders in data["senders_for"]),
+            resets=frozenset(data.get("resets", ())),
+            crashes=frozenset(data.get("crashes", ())),
+            deliver_last=frozenset(data.get("deliver_last", ())))
+
     @staticmethod
     def uniform(n: int, senders: FrozenSet[int],
                 resets: FrozenSet[int] = frozenset(),

@@ -34,6 +34,7 @@ from repro.verification.invariants import (INVARIANTS, InvariantChecker,
                                            VerificationReport, Violation)
 from repro.verification.shrink import (ReplaySetup, ScheduleReplayAdversary,
                                        ShrinkResult, load_counterexample,
+                                       parse_schedule_artifact,
                                        replay_schedule, save_counterexample,
                                        schedule_from_jsonable,
                                        schedule_to_jsonable,
@@ -59,6 +60,7 @@ __all__ = [
     "schedule_to_jsonable",
     "schedule_from_jsonable",
     "save_counterexample",
+    "parse_schedule_artifact",
     "load_counterexample",
     "DifferentialReport",
     "differential_replay",

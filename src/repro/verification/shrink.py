@@ -29,11 +29,11 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.adversaries.replay import PAD_ERROR, ReplayScheduleAdversary
 from repro.protocols.base import ProtocolFactory
 from repro.protocols.registry import get_protocol
 from repro.simulation.trace import ExecutionResult
-from repro.simulation.windows import (WindowAdversary, WindowEngine,
-                                      WindowSpec)
+from repro.simulation.windows import WindowEngine, WindowSpec
 from repro.verification.invariants import InvariantChecker, VerificationReport
 
 
@@ -58,17 +58,15 @@ class ReplaySetup:
     protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
 
 
-class ScheduleReplayAdversary(WindowAdversary):
-    """Plays back a fixed schedule of window specifications."""
+class ScheduleReplayAdversary(ReplayScheduleAdversary):
+    """Backwards-compatible alias of the registry's ``replay-schedule``.
+
+    Replays here always cap ``max_windows`` at the schedule length, so the
+    strict no-padding behaviour of the original class is preserved.
+    """
 
     def __init__(self, schedule: Sequence[WindowSpec]) -> None:
-        self.schedule = list(schedule)
-        self._next = 0
-
-    def next_window(self, engine: WindowEngine) -> WindowSpec:
-        spec = self.schedule[self._next]
-        self._next += 1
-        return spec
+        super().__init__(schedule, pad=PAD_ERROR)
 
 
 def replay_schedule(setup: ReplaySetup,
@@ -186,32 +184,22 @@ def shrink_schedule(setup: ReplaySetup, schedule: Sequence[WindowSpec],
 # ----------------------------------------------------------------------
 def window_spec_to_jsonable(spec: WindowSpec) -> Dict[str, Any]:
     """A plain-JSON encoding of one window specification."""
-    return {
-        "senders_for": [sorted(senders) for senders in spec.senders_for],
-        "resets": sorted(spec.resets),
-        "crashes": sorted(spec.crashes),
-        "deliver_last": sorted(spec.deliver_last),
-    }
+    return spec.to_jsonable()
 
 
 def window_spec_from_jsonable(data: Dict[str, Any]) -> WindowSpec:
     """Rebuild a window specification from its JSON encoding."""
-    return WindowSpec(
-        senders_for=tuple(frozenset(senders)
-                          for senders in data["senders_for"]),
-        resets=frozenset(data.get("resets", ())),
-        crashes=frozenset(data.get("crashes", ())),
-        deliver_last=frozenset(data.get("deliver_last", ())))
+    return WindowSpec.from_jsonable(data)
 
 
 def schedule_to_jsonable(schedule: Sequence[WindowSpec]) -> List[Dict]:
     """Encode a whole schedule as plain JSON data."""
-    return [window_spec_to_jsonable(spec) for spec in schedule]
+    return [spec.to_jsonable() for spec in schedule]
 
 
 def schedule_from_jsonable(data: Sequence[Dict]) -> List[WindowSpec]:
     """Decode a schedule from its JSON encoding."""
-    return [window_spec_from_jsonable(entry) for entry in data]
+    return [WindowSpec.from_jsonable(entry) for entry in data]
 
 
 def save_counterexample(path: str, setup: ReplaySetup,
@@ -239,17 +227,28 @@ def save_counterexample(path: str, setup: ReplaySetup,
         handle.write("\n")
 
 
+def parse_schedule_artifact(artifact: Dict[str, Any]
+                            ) -> Tuple[ReplaySetup, List[WindowSpec]]:
+    """Decode the core of any schedule artifact: (setup, schedule).
+
+    This is the one place the shared artifact format (fuzz
+    counterexamples, search best-schedule files) is parsed; extra keys
+    are the caller's business.
+    """
+    setup = ReplaySetup(
+        protocol=artifact["protocol"], n=artifact["n"], t=artifact["t"],
+        inputs=tuple(artifact["inputs"]), seed=artifact["seed"],
+        protocol_kwargs=dict(artifact.get("protocol_kwargs", {})))
+    return setup, schedule_from_jsonable(artifact["schedule"])
+
+
 def load_counterexample(path: str) -> Tuple[ReplaySetup, List[WindowSpec],
                                             List[str]]:
     """Load a counterexample artifact: (setup, schedule, violations)."""
     with open(path) as handle:
         artifact = json.load(handle)
-    setup = ReplaySetup(
-        protocol=artifact["protocol"], n=artifact["n"], t=artifact["t"],
-        inputs=tuple(artifact["inputs"]), seed=artifact["seed"],
-        protocol_kwargs=dict(artifact.get("protocol_kwargs", {})))
-    return (setup, schedule_from_jsonable(artifact["schedule"]),
-            list(artifact.get("violations", ())))
+    setup, schedule = parse_schedule_artifact(artifact)
+    return setup, schedule, list(artifact.get("violations", ()))
 
 
 __all__ = [
@@ -263,5 +262,6 @@ __all__ = [
     "schedule_to_jsonable",
     "schedule_from_jsonable",
     "save_counterexample",
+    "parse_schedule_artifact",
     "load_counterexample",
 ]

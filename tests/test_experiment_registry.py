@@ -25,12 +25,13 @@ SMOKE_PARAMS = {
     "E6": {"ben_or_ns": (9,), "bracha_ns": (7,), "trials": 1, "seed": 5},
     "E7": {"n": 18, "trials": 1, "max_windows": 600, "seed": 5},
     "E8": {"cs": (0.1,), "ns": (50,), "seed": 5},
+    "E9": {"generations": 2, "population": 2, "windows": 20, "seed": 5},
 }
 
 
 def test_every_experiment_is_registered():
     names = [experiment.name for experiment in available_experiments()]
-    assert names == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"]
+    assert names == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"]
     assert len(SMOKE_PARAMS) == len(names)
 
 

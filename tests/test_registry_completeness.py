@@ -12,7 +12,17 @@ import pytest
 from repro.adversaries.registry import ADVERSARIES, STRATEGIES
 from repro.protocols.registry import available_protocols
 from repro.runner import TrialSpec, execute_trial
+from repro.simulation.windows import WindowSpec
 from repro.verification import InvariantChecker
+
+# A replayable 2-window schedule for the replay-schedule scenario, in the
+# picklable JSON encoding trial specs must carry (the adversary pads with
+# benign full-delivery windows afterwards, so the execution decides).
+_REPLAY_SCHEDULE = [
+    WindowSpec.uniform(13, frozenset(range(2, 13)),
+                       resets=frozenset({0})).to_jsonable(),
+    WindowSpec.full_delivery(13).to_jsonable(),
+]
 
 # One scenario per registered adversary: (protocol, engine, n, t,
 # adversary kwargs, corrupted processors the checker must exclude).
@@ -37,6 +47,8 @@ ADVERSARY_SCENARIOS = {
     "step-fuzzer": ("bracha", "step", 7, 2,
                     {"seed": 8, "corrupted": (0, 1),
                      "strategy": "equivocate"}, (0, 1)),
+    "replay-schedule": ("reset-tolerant", "window", 13, 2,
+                        {"schedule": _REPLAY_SCHEDULE}, ()),
 }
 
 # One scenario per registered Byzantine strategy, all driven through the

@@ -1,0 +1,145 @@
+"""CLI tests for `repro search`, `repro replay` and the list flags."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.results import RunStore
+from repro.search import SEARCH_EXPERIMENT, resolve_search_params
+from repro.verification import save_counterexample
+from repro.verification.shrink import ReplaySetup
+from repro.simulation.windows import WindowSpec
+
+
+def _search_args(out, extra=()):
+    return ["search", "--generations", "3", "--population", "4",
+            "--windows", "40", "--workers", "0", "--seed", "3",
+            "--out", out, *extra]
+
+
+class TestSearchCli:
+    def test_campaign_runs_resumes_and_shows(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        assert main(_search_args(out)) == 0
+        first = capsys.readouterr().out
+        assert "0 cached + 12 computed" in first
+        assert "best score:" in first
+        assert "best-schedule.json" in first
+        # Rerunning the identical campaign resumes fully from cache.
+        assert main(_search_args(out)) == 0
+        assert "12 cached + 0 computed" in capsys.readouterr().out
+        assert main(["show", "search", "--out", out]) == 0
+        rendered = capsys.readouterr().out
+        assert "search run" in rendered
+        assert "generation" in rendered
+
+    def test_campaign_artifact_replays_clean(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        assert main(_search_args(out)) == 0
+        capsys.readouterr()
+        params = resolve_search_params(generations=3, population=4,
+                                       windows=40, seed=3)
+        store = RunStore.open(out, SEARCH_EXPERIMENT, params)
+        artifact = os.path.join(store.path, "best-schedule.json")
+        assert os.path.isfile(artifact)
+        assert main(["replay", artifact]) == 0
+        printed = capsys.readouterr().out
+        assert "invariant verdict: OK" in printed
+
+    def test_no_store_mode_persists_nothing(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["search", "--generations", "2", "--population", "2",
+                     "--windows", "20", "--workers", "0",
+                     "--no-store"]) == 0
+        assert not os.path.exists(tmp_path / "results")
+
+    def test_violating_search_exits_one(self, tmp_path, capsys,
+                                        buggy_protocol):
+        out = str(tmp_path / "results")
+        assert main(["search", "--protocol", buggy_protocol, "--n", "9",
+                     "--objective", "invariant-violation",
+                     "--generations", "2", "--population", "4",
+                     "--windows", "12", "--workers", "0",
+                     "--out", out]) == 1
+        printed = capsys.readouterr().out
+        assert "invariant-violating candidate(s)" in printed
+        assert "counterexamples/gen-" in printed
+
+    def test_bad_search_arguments_exit_two(self, capsys):
+        assert main(["search", "--strategy", "nope", "--no-store"]) == 2
+        assert "unknown search strategy" in capsys.readouterr().err
+        assert main(["search", "--objective", "nope", "--no-store"]) == 2
+        assert "unknown objective" in capsys.readouterr().err
+        assert main(["search", "--n", "4", "--no-store"]) == 2
+        assert "tolerates no faults" in capsys.readouterr().err
+
+    def test_unsupported_objective_is_a_usage_error(self, tmp_path,
+                                                    capsys):
+        # vote-margin needs the estimate hook Bracha does not expose;
+        # this must be a usage error, not a traceback after the run
+        # directory was already created.
+        out = str(tmp_path / "results")
+        assert main(["search", "--objective", "vote-margin",
+                     "--protocol", "bracha", "--n", "7",
+                     "--out", out]) == 2
+        assert "estimate_from_fingerprint" in capsys.readouterr().err
+        assert not os.path.exists(out)
+
+
+class TestReplayCli:
+    def test_replays_a_violating_counterexample(self, tmp_path, capsys,
+                                                buggy_protocol):
+        # A hand-made counterexample: the eager-bug protocol violates
+        # agreement under one benign full-delivery window.
+        n = 9
+        setup = ReplaySetup(protocol=buggy_protocol, n=n, t=1,
+                            inputs=tuple(pid % 2 for pid in range(n)),
+                            seed=1)
+        path = str(tmp_path / "cex.json")
+        save_counterexample(path, setup, [WindowSpec.full_delivery(n)],
+                            ["agreement: conflicting decisions"])
+        assert main(["replay", path]) == 1
+        printed = capsys.readouterr().out
+        assert "invariant verdict: VIOLATED" in printed
+        assert "agreement" in printed
+
+    def test_missing_and_malformed_artifacts_exit_two(self, tmp_path,
+                                                      capsys):
+        assert main(["replay", str(tmp_path / "absent.json")]) == 2
+        assert "no schedule artifact" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "an artifact"}))
+        assert main(["replay", str(bad)]) == 2
+        assert "not a schedule artifact" in capsys.readouterr().err
+        # Valid JSON that is not an object (e.g. a rows.jsonl line
+        # pasted by mistake) is a usage error too, not a traceback.
+        not_object = tmp_path / "list.json"
+        not_object.write_text("[]")
+        assert main(["replay", str(not_object)]) == 2
+        assert "not a schedule artifact" in capsys.readouterr().err
+
+
+class TestListFlags:
+    def test_lists_adversaries_and_strategies(self, capsys):
+        assert main(["list", "--adversaries"]) == 0
+        printed = capsys.readouterr().out
+        assert "replay-schedule" in printed
+        assert "schedule-fuzzer" in printed
+        assert "equivocate" in printed
+
+    def test_lists_protocols_with_fault_models(self, capsys):
+        assert main(["list", "--protocols"]) == 0
+        printed = capsys.readouterr().out
+        assert "reset-tolerant" in printed
+        assert "strongly adaptive" in printed
+        assert "bracha" in printed
+
+    def test_e9_is_registered_and_documented(self, capsys):
+        assert main(["list"]) == 0
+        assert "adversary-search" in capsys.readouterr().out
+        assert main(["list", "--doc"]) == 0
+        doc = capsys.readouterr().out
+        assert "## E9" in doc
