@@ -1,0 +1,24 @@
+"""Benchmark the contract linter (`repro.staticcheck`).
+
+The CI ``lint`` job runs before the tier-1 suite on every push, so the
+linter's wall time is part of every build's critical path.  This records
+a full-tree ``run_lint`` pass and publishes the wall time as
+``extra_info.lint_seconds`` (plus throughput in files/sec) so the
+performance trajectory (`scripts/bench_record.py`, ``BENCH_<n>.json``)
+catches a check whose cost grows superlinearly with the tree.
+"""
+
+import pytest
+
+from repro.staticcheck import run_lint
+
+
+@pytest.mark.benchmark(group="staticcheck")
+def test_bench_lint_full_tree(benchmark):
+    result = benchmark.pedantic(run_lint, iterations=1, rounds=5)
+
+    benchmark.extra_info["lint_seconds"] = benchmark.stats.stats.mean
+    benchmark.extra_info["files_scanned"] = result.files_scanned
+    benchmark.extra_info["files_per_sec"] = \
+        result.files_scanned / benchmark.stats.stats.mean
+    assert result.ok, result.render_text()

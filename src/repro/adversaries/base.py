@@ -17,7 +17,7 @@ deterministic sender-set construction and fault-budget tracking.
 from __future__ import annotations
 
 import random
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import FrozenSet, Iterable, Sequence, Set
 
 from repro.simulation.engine import StepAdversary
 from repro.simulation.windows import WindowAdversary, WindowSpec

@@ -8,9 +8,9 @@ measure-one correctness under schedules that are legal but not worst-case.
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
+from repro.determinism import seeded_rng
 from repro.adversaries.base import random_subset, senders_excluding
 from repro.simulation.windows import WindowAdversary, WindowEngine, WindowSpec
 
@@ -41,7 +41,7 @@ class RandomSchedulerAdversary(WindowAdversary):
                  reset_probability: float = 0.0) -> None:
         if not 0.0 <= reset_probability <= 1.0:
             raise ValueError("reset_probability must lie in [0, 1]")
-        self.rng = random.Random(seed)
+        self.rng = seeded_rng(seed)
         self.reset_probability = reset_probability
 
     def next_window(self, engine: WindowEngine) -> WindowSpec:

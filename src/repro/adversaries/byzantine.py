@@ -16,8 +16,9 @@ strategy to messages originating from the corrupted set.
 from __future__ import annotations
 
 import random
-from typing import Callable, FrozenSet, List, Optional, Sequence, Set
+from typing import FrozenSet, List, Optional, Sequence, Set
 
+from repro.determinism import seeded_rng
 from repro.simulation.engine import StepAdversary, StepEngine
 from repro.simulation.events import Step
 from repro.simulation.message import Message
@@ -116,7 +117,7 @@ class ByzantineAdversary(StepAdversary):
         self.corrupted: Optional[FrozenSet[int]] = (
             frozenset(corrupted) if corrupted is not None else None)
         self.strategy = strategy or SilentStrategy()
-        self.rng = random.Random(seed)
+        self.rng = seeded_rng(seed)
         self.omit_to = frozenset(omit_to or ())
         self.omit_rounds = omit_rounds
         self._queue: List[Step] = []

@@ -9,8 +9,7 @@ used by the Ben-Or baseline experiments (E4, E6).
 
 from __future__ import annotations
 
-import random
-from typing import FrozenSet, Iterable, Optional, Sequence
+from typing import Optional
 
 from repro.adversaries.base import FaultBudget, senders_excluding
 from repro.adversaries.split_vote import SplitVoteAdversary
@@ -49,8 +48,10 @@ class StaticCrashAdversary(WindowAdversary):
         excluded = (already_crashed | allowed) if self.deliver_from_live_only \
             else set()
         # Definition 1 caps exclusions at t; crash victims never exceed t by
-        # construction of the fault budget.
-        excluded = set(list(excluded)[:t])
+        # construction of the fault budget, so the truncation is a no-op
+        # safety net — sorted so that, if it ever fires, the choice of
+        # which victims to keep excluding is deterministic.
+        excluded = set(sorted(excluded)[:t])
         senders = senders_excluding(n, excluded)
         return WindowSpec.uniform(n, senders, crashes=allowed)
 
@@ -80,7 +81,7 @@ class CrashAtDecisionAdversary(WindowAdversary):
                 self._budget.fault(proc.pid)
                 victims.add(proc.pid)
         already_crashed = set(engine.crashed_processors())
-        excluded = set(list(already_crashed | victims)[:t])
+        excluded = set(sorted(already_crashed | victims)[:t])
         senders = senders_excluding(n, excluded)
         return WindowSpec.uniform(n, senders, crashes=frozenset(victims))
 

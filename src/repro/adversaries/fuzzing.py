@@ -19,9 +19,9 @@ campaigns resumable and counterexamples replayable.
 
 from __future__ import annotations
 
-import random
 from typing import FrozenSet, List, Optional, Sequence
 
+from repro.determinism import seeded_rng
 from repro.adversaries.base import FaultBudget, random_subset
 from repro.adversaries.byzantine import ByzantineStrategy, EquivocateStrategy
 from repro.simulation.engine import StepAdversary, StepEngine
@@ -63,7 +63,7 @@ class ScheduleFuzzer(WindowAdversary):
             if not 0.0 <= probability <= 1.0:
                 raise ValueError(f"{name} must lie in [0, 1], "
                                  f"got {probability}")
-        self.rng = random.Random(seed)
+        self.rng = seeded_rng(seed)
         self.reset_probability = reset_probability
         self.crash_probability = crash_probability
         self.deliver_last_probability = deliver_last_probability
@@ -134,7 +134,7 @@ class StepFuzzer(StepAdversary):
                  reset_probability: float = 0.0,
                  crash_probability: float = 0.0,
                  max_resets: Optional[int] = None) -> None:
-        self.rng = random.Random(seed)
+        self.rng = seeded_rng(seed)
         self.corrupted = frozenset(corrupted)
         self.strategy = strategy or EquivocateStrategy()
         self.deliver_probability = deliver_probability

@@ -20,11 +20,10 @@ construction predicts.
 
 from __future__ import annotations
 
-import itertools
-import random
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
+from repro.determinism import seeded_rng
 from repro.adversaries.base import senders_excluding
 from repro.adversaries.split_vote import SplitVoteAdversary
 from repro.simulation.windows import WindowAdversary, WindowEngine, WindowSpec
@@ -101,7 +100,7 @@ class LookaheadAdversary(WindowAdversary):
         self.samples = samples
         self.include_hybrids = include_hybrids
         self.hybrid_points = hybrid_points
-        self.rng = random.Random(seed)
+        self.rng = seeded_rng(seed)
         self.max_candidates = max_candidates
         self.evaluations: List[CandidateEvaluation] = []
 

@@ -10,9 +10,9 @@ conflicting decisions — demonstrating that the constraint is necessary.
 
 from __future__ import annotations
 
-import random
-from typing import FrozenSet, List, Optional
+from typing import List, Optional
 
+from repro.determinism import seeded_rng
 from repro.simulation.windows import WindowAdversary, WindowEngine, WindowSpec
 
 
@@ -27,7 +27,7 @@ class PolarizingAdversary(WindowAdversary):
     """
 
     def __init__(self, seed: Optional[int] = None) -> None:
-        self.rng = random.Random(seed)
+        self.rng = seeded_rng(seed)
 
     def _voters(self, engine: WindowEngine, value: int) -> List[int]:
         voters = []

@@ -25,6 +25,7 @@ from repro.adversaries.crash import (CrashAtDecisionAdversary,
                                      CrashSplitVoteAdversary,
                                      StaticCrashAdversary)
 from repro.adversaries.fuzzing import ScheduleFuzzer, StepFuzzer
+from repro.adversaries.interpolation import LookaheadAdversary
 from repro.adversaries.polarizing import PolarizingAdversary
 from repro.adversaries.replay import ReplayScheduleAdversary
 from repro.adversaries.split_vote import (AdaptiveResettingAdversary,
@@ -37,6 +38,7 @@ ADVERSARIES: Dict[str, Type] = {
     "split-vote": SplitVoteAdversary,
     "adaptive-resetting": AdaptiveResettingAdversary,
     "polarizing": PolarizingAdversary,
+    "lookahead": LookaheadAdversary,
     "static-crash": StaticCrashAdversary,
     "crash-at-decision": CrashAtDecisionAdversary,
     "crash-split-vote": CrashSplitVoteAdversary,

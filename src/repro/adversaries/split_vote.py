@@ -19,10 +19,9 @@ round entirely.
 
 from __future__ import annotations
 
-import random
-from collections import Counter
-from typing import Callable, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
+from repro.determinism import seeded_rng
 from repro.adversaries.base import senders_excluding
 from repro.simulation.windows import WindowAdversary, WindowEngine, WindowSpec
 
@@ -65,7 +64,7 @@ class SplitVoteAdversary(WindowAdversary):
     def __init__(self, block_threshold: Optional[int] = None,
                  seed: Optional[int] = None) -> None:
         self.block_threshold = block_threshold
-        self.rng = random.Random(seed)
+        self.rng = seeded_rng(seed)
         self.blocked_windows = 0
         self.lost_control_windows = 0
 

@@ -16,10 +16,9 @@ in Lemma 14 numerically, independently of any protocol simulation.
 from __future__ import annotations
 
 import itertools
-import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.talagrand import talagrand_bound, two_set_bound
 

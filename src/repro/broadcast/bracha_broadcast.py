@@ -27,7 +27,7 @@ reporting accepted deliveries to the protocol that uses it.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 RBC_INIT = "RBC_INIT"

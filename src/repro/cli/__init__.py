@@ -40,6 +40,16 @@ Subcommands::
         independent invariant verdict.  Exits 1 when the replay violates
         an invariant, 0 when it is clean.
 
+    repro lint [--select CODES] [--ignore CODES] [--format {text,json}]
+               [--root DIR] [--tests DIR] [--fixture [DIR]]
+        Statically lint the ``repro`` package against the project's
+        determinism/parity/registry/serialization contracts
+        (:mod:`repro.staticcheck`; codes documented in
+        ``STATIC_ANALYSIS.md``).  Exits 1 when findings remain, 0 when
+        the tree is clean.  ``--fixture`` instead runs the self-test
+        corpus in ``tests/staticcheck_fixtures/``, checking that every
+        bad-example fixture yields exactly its expected code.
+
 Works both as ``python -m repro ...`` from a source checkout and as the
 installed ``repro`` console script.
 """
@@ -432,6 +442,40 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.staticcheck import (expand_code_selection, run_fixture_selftest,
+                                   run_lint)
+
+    if args.fixture is not None:
+        fixtures_root = args.fixture or None
+        try:
+            rows = run_fixture_selftest(fixtures_root)
+        except (RuntimeError, ValueError, OSError) as error:
+            return _usage_error("lint", error)
+        failed = 0
+        for name, expected, got, ok in rows:
+            verdict = "ok" if ok else "FAIL"
+            rendered = ",".join(sorted(got)) or "-"
+            print(f"{verdict:4} {name}: expected {expected}, got {rendered}")
+            failed += 0 if ok else 1
+        print(f"repro lint --fixture: {len(rows) - failed}/{len(rows)} "
+              f"fixtures behaved as expected")
+        return 1 if failed else 0
+
+    try:
+        select = expand_code_selection(args.select)
+        ignore = expand_code_selection(args.ignore)
+    except ValueError as error:
+        return _usage_error("lint", error)
+    result = run_lint(package_root=args.root, tests_root=args.tests,
+                      select=select, ignore=ignore)
+    if args.format == "json":
+        sys.stdout.write(result.render_json())
+    else:
+        print(result.render_text())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -572,6 +616,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="a schedule artifact: a fuzz counterexample or a search "
              "best-schedule JSON file")
     replay_parser.set_defaults(func=_cmd_replay)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="statically lint the repro package against the "
+                     "project's determinism/parity/registry contracts")
+    lint_parser.add_argument("--select", default=None, metavar="CODES",
+                             help="comma-separated codes or families to "
+                                  "keep (e.g. D1,P or D)")
+    lint_parser.add_argument("--ignore", default=None, metavar="CODES",
+                             help="comma-separated codes or families to "
+                                  "drop")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text",
+                             help="output format (default: text)")
+    lint_parser.add_argument("--root", default=None,
+                             help="package directory to lint (default: "
+                                  "the installed repro package)")
+    lint_parser.add_argument("--tests", default=None,
+                             help="tests directory linted under the "
+                                  "tests/ prefix (default: the "
+                                  "repository tests/)")
+    lint_parser.add_argument("--fixture", nargs="?", const="", default=None,
+                             metavar="DIR",
+                             help="run the self-test corpus instead "
+                                  "(default corpus: "
+                                  "tests/staticcheck_fixtures/)")
+    lint_parser.set_defaults(func=_cmd_lint)
 
     show_parser = subparsers.add_parser(
         "show", help="render a stored run as a table")

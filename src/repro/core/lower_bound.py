@@ -28,13 +28,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.adversaries.benign import (BenignAdversary,
                                       RandomSchedulerAdversary)
 from repro.adversaries.interpolation import interpolate_windows
 from repro.adversaries.split_vote import SplitVoteAdversary
-from repro.core.talagrand import separation_threshold, talagrand_bound
+from repro.core.talagrand import separation_threshold
 from repro.protocols.base import ProtocolFactory
 from repro.simulation.configuration import Configuration, set_distance
 from repro.simulation.windows import WindowAdversary, WindowEngine, WindowSpec

@@ -23,7 +23,7 @@ experiment (E7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 
 class ThresholdError(ValueError):

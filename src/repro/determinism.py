@@ -1,0 +1,52 @@
+"""The sanctioned way to build ``random.Random`` from an optional seed.
+
+``random.Random(None)`` (and bare ``random.Random()``) seeds from OS
+entropy, so any constructor with a ``seed: Optional[int] = None``
+parameter that forwards it verbatim silently becomes nondeterministic
+the moment a caller omits the seed — the exact bug class the
+``repro lint`` D5 check hunts.  :func:`seeded_rng` is the drop-in
+replacement: explicit seeds behave exactly as before, and the ``None``
+fallback draws from a module-level stream that is itself fixed-seeded,
+so unseeded constructions are
+
+* *reproducible*: the k-th unseeded RNG built by a process sees the same
+  seed in every run, on every platform;
+* *mutually independent*: consecutive unseeded constructions still get
+  distinct streams (a fixed shared constant would make every unseeded
+  adversary in a sweep identical).
+
+Worker processes re-import this module and therefore restart the
+fallback stream, but parallel-runner workers always derive explicit
+per-trial seeds (:func:`repro.runner.spec.derive_seed`), so the fallback
+only governs interactive/unseeded use.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+FALLBACK_MASTER_SEED = 0x5EED_AB1E
+"""Seed of the process-wide fallback stream (arbitrary but frozen)."""
+
+_fallback_stream = random.Random(FALLBACK_MASTER_SEED)
+
+
+def seeded_rng(seed: Optional[int] = None) -> random.Random:
+    """A ``random.Random`` that is deterministic even without a seed.
+
+    Args:
+        seed: explicit seed; ``None`` draws the seed from the fixed
+            process-wide fallback stream instead of OS entropy.
+    """
+    if seed is None:
+        seed = _fallback_stream.getrandbits(64)
+    return random.Random(seed)
+
+
+def reset_fallback_stream() -> None:
+    """Rewind the fallback stream to its initial state (test helper)."""
+    _fallback_stream.seed(FALLBACK_MASTER_SEED)
+
+
+__all__ = ["FALLBACK_MASTER_SEED", "seeded_rng", "reset_fallback_stream"]

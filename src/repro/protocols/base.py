@@ -28,6 +28,7 @@ import abc
 import random
 from typing import Any, ClassVar, Dict, List, Optional, Tuple
 
+from repro.determinism import seeded_rng
 from repro.simulation.errors import ProtocolViolationError
 from repro.simulation.message import Message
 
@@ -65,7 +66,7 @@ class Protocol(abc.ABC):
         self.n = n
         self.t = t
         self.input_bit = input_bit
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else seeded_rng()
         self._output: Optional[int] = None
         self._reset_count = 0
         self._pending_send = True
@@ -263,7 +264,7 @@ class ProtocolFactory:
         if len(inputs) != self.n:
             raise ValueError(
                 f"expected {self.n} input bits, got {len(inputs)}")
-        master = random.Random(seed)
+        master = seeded_rng(seed)
         protocols = []
         for pid, input_bit in enumerate(inputs):
             rng = random.Random(master.getrandbits(64))

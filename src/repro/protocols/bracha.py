@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter, defaultdict
-from typing import ClassVar, Dict, Hashable, List, Optional, Tuple
+from typing import ClassVar, Dict, List, Optional, Tuple
 
 from repro.broadcast.bracha_broadcast import ReliableBroadcastLayer
 from repro.protocols.base import Protocol

@@ -36,8 +36,10 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from repro.determinism import seeded_rng
 
 
 @dataclass
@@ -149,7 +151,7 @@ class CommitteeElectionProtocol:
         """
         if len(inputs) != self.n:
             raise ValueError(f"expected {self.n} inputs, got {len(inputs)}")
-        rng = random.Random(seed)
+        rng = seeded_rng(seed)
         if adaptive:
             corrupted_set: Set[int] = set()
         elif corrupted is not None:
@@ -229,7 +231,7 @@ def failure_rate(protocol: CommitteeElectionProtocol, inputs: Sequence[int],
     Used by experiment E5 to contrast non-adaptive (small failure rate) with
     adaptive (near-certain failure) corruption.
     """
-    rng = random.Random(seed)
+    rng = seeded_rng(seed)
     failures = 0
     for _ in range(trials):
         result = protocol.run(inputs, adaptive=adaptive,

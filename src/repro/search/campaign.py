@@ -38,7 +38,6 @@ from repro.search.objectives import OBJECTIVES, Objective, build_objective
 from repro.search.strategies import (STRATEGIES, SearchStrategy,
                                      build_strategy)
 from repro.simulation.trace import ExecutionResult
-from repro.simulation.windows import WindowSpec
 from repro.verification.invariants import InvariantChecker
 from repro.verification.shrink import (ReplaySetup,
                                        parse_schedule_artifact,

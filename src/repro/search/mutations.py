@@ -170,6 +170,7 @@ def relocate_resets(schedule: Sequence[WindowSpec], index: int,
     n, t = sampler.n, sampler.t
     child = list(schedule)
     spec = child[index]
+    # repro: allow[D4] -- 0.0 is the fault model's exact off-switch sentinel
     if t == 0 or sampler.reset_probability == 0.0 or \
             (spec.resets and rng.random() < 0.4):
         resets: FrozenSet[int] = frozenset()
@@ -199,6 +200,7 @@ def relocate_crashes(schedule: Sequence[WindowSpec], index: int,
     if spec.crashes and rng.random() < 0.5:
         crashes: FrozenSet[int] = frozenset(sorted(spec.crashes)[1:])
     else:
+        # repro: allow[D4] -- 0.0 is the fault model's exact off-switch sentinel
         if t == 0 or sampler.crash_probability == 0.0:
             return child
         victims = crashed_victims(child)

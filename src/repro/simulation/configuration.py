@@ -11,7 +11,7 @@ sets ``Z_0^0`` and ``Z_1^0``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.simulation.errors import ConfigurationMismatchError
 

@@ -12,7 +12,6 @@ control) and by the FLP-flavoured unit tests.
 
 from __future__ import annotations
 
-import random
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.simulation.configuration import Configuration

@@ -12,7 +12,7 @@ vocabulary shared by the step engine and its adversaries.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.simulation.message import Message

@@ -12,7 +12,7 @@ accounting (Section 5 measures running time by message-chain length).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional, Tuple
+from typing import Any, Tuple
 
 
 @dataclass(frozen=True, slots=True)

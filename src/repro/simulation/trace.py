@@ -22,7 +22,7 @@ engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import (TYPE_CHECKING, Any, Iterable, List, Optional, Sequence,
+from typing import (TYPE_CHECKING, List, Optional, Sequence,
                     Set, Tuple)
 
 from repro.simulation.configuration import Configuration

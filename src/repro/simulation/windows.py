@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import copy
 import random
-from dataclasses import dataclass, field
-from typing import (TYPE_CHECKING, Callable, FrozenSet, List, Optional,
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, FrozenSet, List, Optional,
                     Sequence, Tuple)
 
 from repro.simulation.configuration import Configuration

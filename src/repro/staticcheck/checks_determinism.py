@@ -1,0 +1,305 @@
+"""D — determinism checks.
+
+The reproduction's headline contract is bit-identical Monte-Carlo
+execution: the same seed must produce the same rows on any worker count,
+and search/fuzz counterexamples must replay exactly.  The *only*
+sanctioned entropy source inside the execution stack is an injected,
+explicitly seeded ``random.Random``; wall clocks, OS entropy, the
+module-level ``random`` API and unordered-container iteration orders are
+all ways a schedule or seed draw can silently depend on something the
+seed does not determine.
+
+These checks apply to files under :data:`~repro.staticcheck.walker.
+D_SCOPE_DIRS` (``simulation/``, ``protocols/``, ``adversaries/``,
+``search/``, ``verification/``).
+
+* **D1** — call into the module-level ``random`` API (or importing a
+  draw function from it): all draws share one hidden global stream.
+* **D2** — wall-clock / OS-entropy calls: ``time.time``,
+  ``datetime.now``, ``uuid.uuid4``, ``os.urandom``, anything in
+  ``secrets``.
+* **D3** — truncating/indexing a ``list()``/``tuple()`` built straight
+  from a set (``list(s)[:t]``), or iterating a set display while drawing
+  from an RNG: set order is hash order, not a deterministic function of
+  the contents.  Wrap in ``sorted(...)`` to canonicalise.
+* **D4** — float ``==``/``!=`` in a predicate: representation-dependent
+  decisions.  Exact sentinel comparisons (``probability == 0.0``) are
+  legitimate and should carry a justified suppression.
+* **D5** — constructing ``random.Random`` unseeded, from ``None``, or
+  from a parameter that *defaults* to ``None``: ``Random(None)`` seeds
+  from OS entropy.  Route optional seeds through
+  :func:`repro.determinism.seeded_rng` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.staticcheck.index import SymbolIndex
+from repro.staticcheck.report import Finding
+from repro.staticcheck.walker import ProjectFiles, SourceFile
+
+_RANDOM_MODULE_OK = frozenset({"Random", "SystemRandom"})
+"""``random.<attr>`` references that are not global-stream draws.
+
+``SystemRandom`` is still OS entropy, but constructing it is caught by
+its own right below; the *class* references themselves (annotations,
+``isinstance`` checks) are fine.
+"""
+
+_CLOCK_CALLS = frozenset({
+    ("time", "time"), ("time", "time_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+    ("uuid", "uuid1"), ("uuid", "uuid4"),
+    ("os", "urandom"), ("os", "getrandom"),
+})
+"""Attribute calls that read the wall clock or OS entropy."""
+
+_SET_BUILDERS = frozenset({"set", "frozenset"})
+_SET_RETURNING_HELPERS = frozenset({
+    "senders_excluding", "random_subset", "crashed_victims",
+})
+"""Project helpers statically known to return (frozen)sets."""
+
+
+def _enclosing_function(source: SourceFile,
+                        node: ast.AST) -> Optional[ast.FunctionDef]:
+    while node is not None:
+        node = source.parent(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+def _params_defaulting_to_none(func: ast.FunctionDef) -> Set[str]:
+    """Parameter names of ``func`` whose default value is ``None``."""
+    names: Set[str] = set()
+    positional = func.args.posonlyargs + func.args.args
+    for arg, default in zip(positional[len(positional)
+                                       - len(func.args.defaults):],
+                            func.args.defaults):
+        if isinstance(default, ast.Constant) and default.value is None:
+            names.add(arg.arg)
+    for arg, default in zip(func.args.kwonlyargs, func.args.kw_defaults):
+        if default is not None and isinstance(default, ast.Constant) and \
+                default.value is None:
+            names.add(arg.arg)
+    return names
+
+
+def _set_typed_names(func: ast.AST) -> Set[str]:
+    """Local names of ``func`` statically inferable as set-typed.
+
+    A deliberately shallow, two-pass fixpoint: names assigned from set
+    displays, ``set()``/``frozenset()`` calls, known frozenset-returning
+    project helpers, or set-algebra ``BinOp``s over already-inferred
+    names.  Misses aliasing through attributes and calls — by design; D3
+    favours precision over recall.
+    """
+    names: Set[str] = set()
+    for _ in range(2):
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not _is_set_typed(node.value, names):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _is_set_typed(node: ast.expr, set_names: Set[str]) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name in _SET_BUILDERS or name in _SET_RETURNING_HELPERS:
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and \
+            isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return _is_set_typed(node.left, set_names) or \
+            _is_set_typed(node.right, set_names)
+    return False
+
+
+def _is_rng_draw(node: ast.AST) -> bool:
+    """Whether the subtree draws from an RNG-looking receiver."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Call) and \
+                isinstance(inner.func, ast.Attribute):
+            value = inner.func.value
+            if isinstance(value, ast.Name) and (
+                    value.id == "rng" or value.id.endswith("_rng")):
+                return True
+    return False
+
+
+def _check_file(source: SourceFile) -> Iterator[Finding]:
+    imported_clock_names: Set[str] = set()
+    for node in ast.walk(source.tree):
+        # D1: `from random import <draw>` (anything but the classes).
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                bad = [alias.name for alias in node.names
+                       if alias.name not in _RANDOM_MODULE_OK]
+                if bad:
+                    yield Finding(
+                        code="D1", path=source.relpath, line=node.lineno,
+                        message="imports the module-level random API "
+                                f"({', '.join(bad)}); draw from an "
+                                "injected random.Random instead")
+            elif node.module in ("time", "datetime", "uuid", "os",
+                                 "secrets"):
+                for alias in node.names:
+                    if (node.module, alias.name) in _CLOCK_CALLS or \
+                            node.module == "secrets":
+                        imported_clock_names.add(alias.asname or alias.name)
+
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            # D1: random.<draw>(...) on the global stream.
+            if base == "random" and attr not in _RANDOM_MODULE_OK:
+                yield Finding(
+                    code="D1", path=source.relpath, line=node.lineno,
+                    message=f"random.{attr}() draws from the shared "
+                            "global stream; use the injected "
+                            "random.Random")
+            # D2: wall clock / OS entropy.
+            if (base, attr) in _CLOCK_CALLS or base == "secrets":
+                yield Finding(
+                    code="D2", path=source.relpath, line=node.lineno,
+                    message=f"{base}.{attr}() is wall-clock/OS entropy; "
+                            "executions must be a function of the seed")
+            # D5: random.Random(...) mis-seeded.
+            if base == "random" and attr in ("Random", "SystemRandom"):
+                yield from _check_random_construction(source, node)
+        elif isinstance(func, ast.Name):
+            if func.id in imported_clock_names:
+                yield Finding(
+                    code="D2", path=source.relpath, line=node.lineno,
+                    message=f"{func.id}() is wall-clock/OS entropy; "
+                            "executions must be a function of the seed")
+            if func.id == "Random":
+                yield from _check_random_construction(source, node)
+
+    # D3 / D4 need per-function type context.
+    yield from _check_order_and_floats(source)
+
+
+def _check_random_construction(source: SourceFile,
+                               node: ast.Call) -> Iterator[Finding]:
+    func_name = node.func.attr if isinstance(node.func, ast.Attribute) \
+        else node.func.id
+    if func_name == "SystemRandom":
+        yield Finding(
+            code="D5", path=source.relpath, line=node.lineno,
+            message="SystemRandom draws OS entropy and cannot be seeded")
+        return
+    if not node.args and not node.keywords:
+        yield Finding(
+            code="D5", path=source.relpath, line=node.lineno,
+            message="random.Random() is seeded from OS entropy; pass an "
+                    "explicit seed (see repro.determinism.seeded_rng)")
+        return
+    seed_arg = node.args[0] if node.args else None
+    if seed_arg is None:
+        for keyword in node.keywords:
+            if keyword.arg == "x":
+                seed_arg = keyword.value
+    if isinstance(seed_arg, ast.Constant) and seed_arg.value is None:
+        yield Finding(
+            code="D5", path=source.relpath, line=node.lineno,
+            message="random.Random(None) is seeded from OS entropy")
+        return
+    if isinstance(seed_arg, ast.Name):
+        enclosing = _enclosing_function(source, node)
+        if enclosing is not None and \
+                seed_arg.id in _params_defaulting_to_none(enclosing):
+            yield Finding(
+                code="D5", path=source.relpath, line=node.lineno,
+                message=f"random.Random({seed_arg.id}) where "
+                        f"{seed_arg.id} defaults to None falls back to "
+                        "OS entropy; use repro.determinism.seeded_rng")
+
+
+def _check_order_and_floats(source: SourceFile) -> Iterator[Finding]:
+    functions = [node for node in ast.walk(source.tree)
+                 if isinstance(node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))]
+    for func in functions:
+        set_names = _set_typed_names(func)
+        for node in ast.walk(func):
+            # D3a: list(<set>)[...] / tuple(<set>)[...] — truncation or
+            # indexing inherits hash order.
+            if isinstance(node, ast.Subscript) and \
+                    isinstance(node.value, ast.Call) and \
+                    isinstance(node.value.func, ast.Name) and \
+                    node.value.func.id in ("list", "tuple") and \
+                    node.value.args and \
+                    _is_set_typed(node.value.args[0], set_names):
+                yield Finding(
+                    code="D3", path=source.relpath, line=node.lineno,
+                    message="indexing/slicing a list built from a set "
+                            "inherits hash order; sort first "
+                            "(sorted(...)[:k])")
+            # D3b: iterating a set display/builder while drawing from an
+            # RNG inside the loop — the draw order follows hash order.
+            if isinstance(node, ast.For) and \
+                    _is_set_display(node.iter) and \
+                    any(_is_rng_draw(stmt) for stmt in node.body):
+                yield Finding(
+                    code="D3", path=source.relpath, line=node.iter.lineno,
+                    message="RNG draws inside iteration over an "
+                            "unordered set make the stream depend on "
+                            "hash order; iterate sorted(...)")
+            # D4: float equality in a predicate.
+            if isinstance(node, ast.Compare) and \
+                    any(isinstance(op, (ast.Eq, ast.NotEq))
+                        for op in node.ops):
+                operands = [node.left] + list(node.comparators)
+                if any(isinstance(operand, ast.Constant) and
+                       isinstance(operand.value, float)
+                       for operand in operands):
+                    yield Finding(
+                        code="D4", path=source.relpath, line=node.lineno,
+                        message="float ==/!= in a predicate is "
+                                "representation-dependent; compare with "
+                                "a tolerance or justify the sentinel")
+
+
+def _is_set_display(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return isinstance(node, ast.Call) and \
+        isinstance(node.func, ast.Name) and \
+        node.func.id in _SET_BUILDERS
+
+
+def check_determinism(project: ProjectFiles,
+                      index: SymbolIndex) -> List[Finding]:
+    """Run the D checks over every in-scope file."""
+    findings: List[Finding] = []
+    for relpath in sorted(project.files):
+        source = project.files[relpath]
+        if not source.in_determinism_scope:
+            continue
+        findings.extend(_check_file(source))
+    return findings
+
+
+__all__ = ["check_determinism"]

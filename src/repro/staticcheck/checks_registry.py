@@ -1,0 +1,107 @@
+"""R — registry completeness checks.
+
+The parallel runner rebuilds adversaries and protocols in worker
+processes from *names*, so a class that never makes it into its registry
+is unreachable from every trial spec, every CLI invocation and every
+persisted artifact — and a registered name without a scenario in the
+completeness test is a code path the suite never exercises.  Both gaps
+are invisible at import time; these checks find them from class
+definitions alone:
+
+* **R1** — a concrete window/step adversary (or Byzantine strategy)
+  subclass is missing from ``adversaries/registry.py``.
+* **R2** — a concrete protocol subclass is missing from
+  ``protocols/registry.py``.
+* **R3** — a registered name has no scenario in
+  ``tests/test_registry_completeness.py`` (whose tables the symbol index
+  parses statically — the same parse the runtime test delegates to, so
+  the two can never disagree).
+
+"Concrete" is judged statically: no ``@abstractmethod`` and no
+``NotImplementedError``-raising hook.  Deliberately unregistrable
+classes (e.g. ones needing live un-picklable constructor arguments)
+carry a justified ``# repro: allow[R1]`` at their definition.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.staticcheck.index import SymbolIndex
+from repro.staticcheck.report import Finding
+from repro.staticcheck.walker import ProjectFiles
+
+ADVERSARY_REGISTRY = "adversaries/registry.py"
+PROTOCOL_REGISTRY = "protocols/registry.py"
+
+ADVERSARY_ROOTS = ("WindowAdversary", "StepAdversary")
+STRATEGY_ROOT = "ByzantineStrategy"
+PROTOCOL_ROOT = "Protocol"
+
+
+def _in_tests(relpath: str) -> bool:
+    return relpath.startswith("tests/")
+
+
+def check_registry(project: ProjectFiles,
+                   index: SymbolIndex) -> List[Finding]:
+    """Run the R checks."""
+    findings: List[Finding] = []
+
+    # R1: adversaries and strategies.
+    if project.get(ADVERSARY_REGISTRY) is not None:
+        registered = (index.dict_value_names(ADVERSARY_REGISTRY,
+                                             "ADVERSARIES")
+                      | index.dict_value_names(ADVERSARY_REGISTRY,
+                                               "STRATEGIES"))
+        candidates = (index.subclasses_of(*ADVERSARY_ROOTS)
+                      + index.subclasses_of(STRATEGY_ROOT))
+        for info in candidates:
+            if _in_tests(info.relpath) or not info.is_concrete:
+                continue
+            if info.name not in registered:
+                findings.append(Finding(
+                    code="R1", path=info.relpath, line=info.lineno,
+                    message=f"concrete adversary/strategy {info.name} "
+                            f"is not registered in {ADVERSARY_REGISTRY}; "
+                            "trial specs cannot reach it"))
+
+    # R2: protocols.
+    if project.get(PROTOCOL_REGISTRY) is not None:
+        registered = index.dict_value_names(PROTOCOL_REGISTRY, "_REGISTRY")
+        for info in index.subclasses_of(PROTOCOL_ROOT):
+            if _in_tests(info.relpath) or not info.is_concrete:
+                continue
+            if info.name not in registered:
+                findings.append(Finding(
+                    code="R2", path=info.relpath, line=info.lineno,
+                    message=f"concrete protocol {info.name} is not "
+                            f"registered in {PROTOCOL_REGISTRY}"))
+
+    # R3: every registered name is exercised by a scenario.
+    tables = index.scenario_tables()
+    if tables is not None:
+        checks = (
+            ("ADVERSARIES", ADVERSARY_REGISTRY, tables.adversaries,
+             "adversary"),
+            ("STRATEGIES", ADVERSARY_REGISTRY, tables.strategies,
+             "Byzantine strategy"),
+            ("_REGISTRY", PROTOCOL_REGISTRY, tables.protocols, "protocol"),
+        )
+        for table_name, registry_file, scenario_names, label in checks:
+            if project.get(registry_file) is None:
+                continue
+            keys = index.dict_string_keys(registry_file, table_name)
+            if keys is None:
+                continue
+            line = index.assign_line(registry_file, table_name)
+            for key in sorted(keys - scenario_names):
+                findings.append(Finding(
+                    code="R3", path=registry_file, line=line,
+                    message=f"registered {label} {key!r} has no scenario "
+                            "in tests/test_registry_completeness.py"))
+
+    return findings
+
+
+__all__ = ["check_registry"]

@@ -1,0 +1,150 @@
+"""Source discovery and parsing: files, trees, parents, suppressions.
+
+The walker turns a package tree (and, when present, its ``tests/``
+sibling) into :class:`SourceFile` objects: the parsed AST plus the
+derived helpers every check needs — a child-to-parent node map (for
+context-sensitive checks like "is this ``list(...)`` inside a
+``sorted(...)``") and the parsed suppression comments.
+
+The linter never imports the code it checks: everything downstream works
+off these parse trees, so a broken import graph (the very thing some
+checks exist to prevent) cannot take the linter down with it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.staticcheck.report import Suppression, parse_suppressions
+
+D_SCOPE_DIRS = ("simulation", "protocols", "adversaries", "search",
+                "verification")
+"""Package subdirectories the determinism (D) checks apply to."""
+
+SKIP_DIRS = ("staticcheck_fixtures",)
+"""Directories never walked: the self-test corpus is deliberately bad
+code and is linted one fixture at a time, never as part of its host."""
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python source file.
+
+    Attributes:
+        path: absolute filesystem path.
+        relpath: path relative to the linted package root, ``/``-separated
+            (test files are prefixed ``tests/``).
+        tree: the parsed module AST.
+        lines: the raw source lines.
+        parents: child AST node id -> parent node, for upward walks.
+        suppressions: parsed ``# repro: allow[...]`` comments.
+    """
+
+    path: str
+    relpath: str
+    tree: ast.Module
+    lines: List[str]
+    parents: Dict[int, ast.AST] = field(default_factory=dict)
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    @property
+    def in_determinism_scope(self) -> bool:
+        """Whether the D checks apply to this file."""
+        first = self.relpath.split("/", 1)[0]
+        return first in D_SCOPE_DIRS
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of ``node``, or ``None`` at the module root."""
+        return self.parents.get(id(node))
+
+
+def load_source_file(path: str, relpath: str) -> Optional[SourceFile]:
+    """Parse one file; returns ``None`` on a syntax error.
+
+    Unparseable files are skipped rather than fatal: the interpreter (and
+    CI's import of the package) reports syntax errors already, and a
+    half-broken tree should not block linting the rest.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError:
+        return None
+    source = SourceFile(path=path, relpath=relpath, tree=tree,
+                        lines=text.splitlines())
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            source.parents[id(child)] = parent
+    source.suppressions = parse_suppressions(source.lines)
+    return source
+
+
+def _iter_python_files(root: str) -> Iterator[Tuple[str, str]]:
+    """Yield ``(path, relpath)`` for every ``.py`` under ``root``."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(name for name in dirnames
+                             if not name.startswith((".", "__pycache__"))
+                             and name not in SKIP_DIRS)
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relpath = os.path.relpath(path, root).replace(os.sep, "/")
+            yield path, relpath
+
+
+@dataclass
+class ProjectFiles:
+    """Every parsed source file of one lint invocation.
+
+    Attributes:
+        package_root: the linted package directory (``src/repro`` in the
+            real tree; a fixture directory in the self-test corpus).
+        tests_root: the accompanying tests directory, when one exists.
+        files: parsed files keyed by relpath; test files appear under
+            ``tests/<name>.py``.
+    """
+
+    package_root: str
+    tests_root: Optional[str]
+    files: Dict[str, SourceFile] = field(default_factory=dict)
+
+    def get(self, relpath: str) -> Optional[SourceFile]:
+        """The parsed file at ``relpath``, or ``None`` when absent.
+
+        Cross-file checks use this and skip silently when a fixture tree
+        does not carry the file they reason about.
+        """
+        return self.files.get(relpath)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+
+def walk_project(package_root: str,
+                 tests_root: Optional[str] = None) -> ProjectFiles:
+    """Parse a package tree (plus optional tests directory)."""
+    project = ProjectFiles(package_root=package_root, tests_root=tests_root)
+    for path, relpath in _iter_python_files(package_root):
+        if tests_root is not None and \
+                os.path.commonpath([os.path.abspath(path),
+                                    os.path.abspath(tests_root)]) == \
+                os.path.abspath(tests_root):
+            continue  # nested tests dir: picked up below under tests/
+        source = load_source_file(path, relpath)
+        if source is not None:
+            project.files[relpath] = source
+    if tests_root is not None and os.path.isdir(tests_root):
+        for path, relpath in _iter_python_files(tests_root):
+            source = load_source_file(path, "tests/" + relpath)
+            if source is not None:
+                project.files["tests/" + relpath] = source
+    return project
+
+
+__all__ = ["D_SCOPE_DIRS", "SKIP_DIRS", "SourceFile", "ProjectFiles",
+           "load_source_file", "walk_project"]

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.adversaries.replay import PAD_ERROR, ReplayScheduleAdversary
 from repro.protocols.base import ProtocolFactory
@@ -58,6 +58,7 @@ class ReplaySetup:
     protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
 
 
+# repro: allow[R1] -- compat alias of the registered replay-schedule class
 class ScheduleReplayAdversary(ReplayScheduleAdversary):
     """Backwards-compatible alias of the registry's ``replay-schedule``.
 

@@ -11,7 +11,7 @@ of these plus random assignments for correctness sweeps.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 
 def unanimous(n: int, value: int) -> List[int]:

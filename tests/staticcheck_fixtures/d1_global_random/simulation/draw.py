@@ -1,0 +1,7 @@
+"""D1 fixture: drawing from the module-level random API."""
+
+import random
+
+
+def pick_window():
+    return random.random()

@@ -1,0 +1,7 @@
+"""D2 fixture: reading the wall clock inside the execution stack."""
+
+import time
+
+
+def stamp_window():
+    return time.time()

@@ -1,0 +1,6 @@
+"""D3 fixture: truncating a list built straight from a set."""
+
+
+def first_two_victims():
+    victims = {3, 1, 2}
+    return list(victims)[:2]

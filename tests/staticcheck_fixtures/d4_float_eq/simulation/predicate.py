@@ -1,0 +1,5 @@
+"""D4 fixture: float equality deciding a branch."""
+
+
+def should_reset(probability):
+    return probability == 0.5

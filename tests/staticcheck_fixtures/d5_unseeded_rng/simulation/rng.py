@@ -1,0 +1,7 @@
+"""D5 fixture: Random built from a parameter defaulting to None."""
+
+import random
+
+
+def build_rng(seed=None):
+    return random.Random(seed)

@@ -1,0 +1,3 @@
+def run_window(trace, pid):
+    trace.record_send(pid)
+    trace.record_deliver(pid)

@@ -1,0 +1,3 @@
+def run_step(trace, pid):
+    trace.record_send(pid)
+    trace.record_reset(pid)

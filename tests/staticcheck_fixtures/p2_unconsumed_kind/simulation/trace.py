@@ -1,0 +1,18 @@
+"""P2 fixture: an event kind the invariant checker never examines."""
+
+
+class TraceEvent:
+    def __init__(self, kind, pid):
+        self.kind = kind
+        self.pid = pid
+
+
+class ExecutionTrace:
+    def __init__(self):
+        self.events = []
+
+    def record_send(self, pid):
+        self.events.append(TraceEvent(kind="send", pid=pid))
+
+    def record_reset(self, pid):
+        self.events.append(TraceEvent(kind="reset", pid=pid))

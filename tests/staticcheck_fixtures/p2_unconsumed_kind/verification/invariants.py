@@ -1,0 +1,3 @@
+def sends_of(trace):
+    # "reset" events are never looked at.
+    return [event for event in trace.events if event.kind == "send"]

@@ -1,0 +1,4 @@
+def apply_step(step):
+    if step.step_type is StepType.SEND:
+        return "sent"
+    return None

@@ -1,0 +1,6 @@
+"""P3 fixture: a StepType member the step engine never dispatches on."""
+
+
+class StepType:
+    SEND = "send"
+    PRUNE = "prune"

@@ -1,0 +1,7 @@
+"""P4 fixture: a public mutation operator with no contract test."""
+
+Schedule = list
+
+
+def drop_first_window(schedule) -> Schedule:
+    return schedule[1:]

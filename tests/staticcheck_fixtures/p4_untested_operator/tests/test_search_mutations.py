@@ -1,0 +1,2 @@
+def test_placeholder():
+    assert True

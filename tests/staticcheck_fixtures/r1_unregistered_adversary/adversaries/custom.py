@@ -1,0 +1,11 @@
+"""R1 fixture: a concrete adversary the registry cannot reach."""
+
+
+class WindowAdversary:
+    def next_window(self, engine):
+        raise NotImplementedError
+
+
+class GhostAdversary(WindowAdversary):
+    def next_window(self, engine):
+        return None

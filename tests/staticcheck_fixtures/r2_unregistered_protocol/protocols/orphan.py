@@ -1,0 +1,11 @@
+"""R2 fixture: a concrete protocol the registry cannot reach."""
+
+
+class Protocol:
+    def _compose_messages(self):
+        raise NotImplementedError
+
+
+class OrphanAgreement(Protocol):
+    def _compose_messages(self):
+        return []

@@ -1,0 +1,3 @@
+"""R3 fixture: a registered name no scenario ever exercises."""
+
+ADVERSARIES = {"ghost": object}

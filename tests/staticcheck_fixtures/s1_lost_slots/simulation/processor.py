@@ -1,0 +1,6 @@
+"""S1 fixture: a slots-manifest class without __slots__."""
+
+
+class Processor:
+    def __init__(self, pid):
+        self.pid = pid

@@ -1,0 +1,3 @@
+"""X1 fixture: a suppression comment with no justification."""
+
+RESET_BUDGET = 3  # repro: allow[D4]

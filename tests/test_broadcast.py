@@ -1,6 +1,5 @@
 """Unit tests for Bracha's reliable-broadcast substrate."""
 
-import pytest
 
 from repro.broadcast.bracha_broadcast import (RBC_ECHO, RBC_INIT, RBC_READY,
                                               BroadcastInstance,

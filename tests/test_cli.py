@@ -3,7 +3,6 @@
 import json
 import os
 
-import pytest
 
 from repro.cli import main, render_registry_doc
 from repro.experiments import available_experiments

@@ -1,6 +1,5 @@
 """Unit tests for the analytic running-time model (Section 3 analysis)."""
 
-import math
 
 import pytest
 

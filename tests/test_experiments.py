@@ -5,7 +5,6 @@ EXPERIMENTS.md pipeline stays runnable; the benchmarks run the same code at
 the reported scales.
 """
 
-import pytest
 
 from repro.analysis.experiments import (run_baseline_experiment,
                                         run_committee_experiment,

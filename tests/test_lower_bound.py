@@ -9,7 +9,6 @@ from repro.core.lower_bound import (best_hybrid, decision_set_separation,
                                     hybrid_window_sweep, lower_bound_report,
                                     sample_decision_configurations)
 from repro.core.reset_tolerant import ResetTolerantAgreement
-from repro.core.thresholds import max_tolerable_t
 from repro.protocols.base import ProtocolFactory
 from repro.simulation.windows import WindowEngine, WindowSpec
 

@@ -3,7 +3,6 @@
 import json
 import os
 
-import pytest
 
 from repro.cli import main
 from repro.results import RunStore

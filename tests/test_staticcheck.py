@@ -1,0 +1,169 @@
+"""Unit tests for the staticcheck linter machinery itself.
+
+The fixture corpus (``test_staticcheck_fixtures.py``) pins each check's
+end-to-end behaviour; these tests cover the plumbing — suppression
+parsing and application, code selection, rendering, and the symbol
+index's cross-file lookups over the real tree.
+"""
+
+import json
+
+import pytest
+
+from repro.staticcheck import (CHECK_CODES, SLOTS_MANIFEST, SymbolIndex,
+                               default_package_root, default_tests_root,
+                               expand_code_selection, project_scenarios,
+                               run_lint)
+from repro.staticcheck.report import (Finding, LintResult,
+                                      apply_suppressions, filter_findings,
+                                      parse_suppressions)
+from repro.staticcheck.walker import walk_project
+
+
+# ----------------------------------------------------------------------
+# Suppressions.
+# ----------------------------------------------------------------------
+def test_parse_suppression_with_justification():
+    lines = ["x = rng.random()  # repro: allow[D1] -- injected stream"]
+    (suppression,) = parse_suppressions(lines)
+    assert suppression.codes == ("D1",)
+    assert suppression.justified
+    assert suppression.line == 1
+
+
+def test_comment_only_suppression_covers_the_next_line():
+    lines = ["# repro: allow[D3, D4] -- sentinel compare on sorted data",
+             "value = compute()"]
+    (suppression,) = parse_suppressions(lines)
+    assert suppression.line == 2
+    assert suppression.codes == ("D3", "D4")
+
+
+def test_unjustified_suppression_becomes_x1():
+    lines = ["value = 1  # repro: allow[D1]"]
+    suppressions = {"mod.py": parse_suppressions(lines)}
+    finding = Finding(code="D1", path="mod.py", line=1, message="boom")
+    kept = apply_suppressions([finding], suppressions)
+    # The D1 finding is silenced, but the bare suppression is flagged.
+    assert [f.code for f in kept] == ["X1"]
+
+
+def test_family_letter_suppresses_the_whole_family():
+    lines = ["value = 1  # repro: allow[D] -- whole-family exemption"]
+    suppressions = {"mod.py": parse_suppressions(lines)}
+    findings = [Finding(code="D1", path="mod.py", line=1, message="a"),
+                Finding(code="D4", path="mod.py", line=1, message="b"),
+                Finding(code="P1", path="mod.py", line=1, message="c")]
+    kept = apply_suppressions(findings, suppressions)
+    assert [f.code for f in kept] == ["P1"]
+
+
+def test_suppression_only_covers_its_own_line():
+    lines = ["value = 1  # repro: allow[D1] -- here only", "other = 2"]
+    suppressions = {"mod.py": parse_suppressions(lines)}
+    finding = Finding(code="D1", path="mod.py", line=2, message="boom")
+    assert apply_suppressions([finding], suppressions) == [finding]
+
+
+# ----------------------------------------------------------------------
+# Selection and rendering.
+# ----------------------------------------------------------------------
+def test_expand_code_selection_accepts_codes_and_families():
+    assert expand_code_selection("D1,P3") == {"D1", "P3"}
+    expanded = expand_code_selection("D")
+    assert expanded == {"D1", "D2", "D3", "D4", "D5"}
+    assert expand_code_selection(None) is None
+
+
+def test_expand_code_selection_rejects_unknown_tokens():
+    with pytest.raises(ValueError, match="unknown check code"):
+        expand_code_selection("Q7")
+
+
+def test_filter_findings_select_then_ignore():
+    findings = [Finding(code="D1", path="a.py", line=1, message="m"),
+                Finding(code="P1", path="a.py", line=2, message="m")]
+    assert [f.code for f in filter_findings(findings,
+                                            select={"D1", "P1"},
+                                            ignore={"P1"})] == ["D1"]
+
+
+def test_json_rendering_round_trips():
+    result = LintResult(
+        findings=[Finding(code="D1", path="a.py", line=3, message="m")],
+        files_scanned=7)
+    payload = json.loads(result.render_json())
+    assert payload["finding_count"] == 1
+    assert payload["findings"][0]["code"] == "D1"
+    assert payload["findings"][0]["line"] == 3
+    assert payload["files_scanned"] == 7
+
+
+def test_every_code_has_a_description():
+    for code, description in CHECK_CODES.items():
+        assert description, code
+
+
+# ----------------------------------------------------------------------
+# The symbol index over the real tree.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def real_index():
+    project = walk_project(default_package_root(), default_tests_root())
+    return SymbolIndex(project)
+
+
+def test_trace_event_kinds_match_the_engines(real_index):
+    kinds = real_index.trace_event_kinds()
+    assert set(kinds.values()) == {"send", "deliver", "reset", "crash",
+                                   "decide"}
+
+
+def test_step_type_members_are_found(real_index):
+    assert set(real_index.step_type_members()) == {"SEND", "RECEIVE",
+                                                   "RESET", "CRASH"}
+
+
+def test_mutation_operators_are_discovered(real_index):
+    operators = set(real_index.mutation_operators())
+    assert {"perturb_delivery", "relocate_resets", "relocate_crashes",
+            "flip_deliver_last", "splice", "regrow_tail",
+            "mutate"} <= operators
+    assert not any(name.startswith("_") for name in operators)
+
+
+def test_subclass_closure_finds_transitive_adversaries(real_index):
+    names = {info.name for info
+             in real_index.subclasses_of("WindowAdversary")}
+    # CrashSplitVoteAdversary subclasses SplitVoteAdversary, two hops
+    # from the root.
+    assert "CrashSplitVoteAdversary" in names
+
+
+def test_scenario_tables_parse_statistically(real_index):
+    tables = real_index.scenario_tables()
+    assert tables is not None
+    assert "benign" in tables.adversaries
+    assert "flip" in tables.strategies
+    assert tables.protocols == {"reset-tolerant", "ben-or", "bracha"}
+
+
+def test_project_scenarios_matches_module_level_helper(real_index):
+    assert project_scenarios() == real_index.scenario_tables()
+
+
+def test_slots_manifest_classes_exist(real_index):
+    for relpath, class_name in SLOTS_MANIFEST:
+        infos = [info for info in real_index.class_named(class_name)
+                 if info.relpath == relpath]
+        assert infos, (relpath, class_name)
+        assert all(info.has_slots for info in infos)
+
+
+# ----------------------------------------------------------------------
+# run_lint plumbing.
+# ----------------------------------------------------------------------
+def test_run_lint_select_restricts_codes():
+    result = run_lint(select={"S1"})
+    assert result.ok
+    assert result.files_scanned > 50

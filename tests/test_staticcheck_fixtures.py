@@ -1,0 +1,45 @@
+"""The staticcheck self-test corpus: each fixture trips exactly its code.
+
+Every directory under ``tests/staticcheck_fixtures/`` is a minimal bad
+example named ``<code>_<slug>``; linting it must yield the named check
+code and nothing else, and linting the real tree must yield nothing at
+all.  Together these pin both directions of the linter's contract: each
+check still fires (no silent rot), and the shipped tree is clean.
+"""
+
+import os
+
+import pytest
+
+from repro.staticcheck import (CHECK_CODES, default_fixture_root,
+                               iter_fixtures, run_lint)
+
+FIXTURE_ROOT = os.path.join(os.path.dirname(__file__),
+                            "staticcheck_fixtures")
+
+FIXTURES = list(iter_fixtures(FIXTURE_ROOT))
+
+
+def test_default_fixture_root_points_here():
+    assert default_fixture_root() == FIXTURE_ROOT
+
+
+def test_corpus_covers_every_check_code():
+    """Each check code has at least one bad-example fixture."""
+    covered = {expected for _, expected, _, _ in FIXTURES}
+    assert covered == set(CHECK_CODES)
+
+
+@pytest.mark.parametrize(
+    "name,expected,package_root,tests_root",
+    FIXTURES, ids=[fixture[0] for fixture in FIXTURES])
+def test_fixture_yields_exactly_its_code(name, expected, package_root,
+                                         tests_root):
+    result = run_lint(package_root=package_root, tests_root=tests_root)
+    assert result.codes() == {expected}, result.render_text()
+
+
+def test_the_shipped_tree_is_clean():
+    """`repro lint` exits 0 on the real tree (the PR's ship gate)."""
+    result = run_lint()
+    assert result.ok, result.render_text()
