@@ -8,10 +8,16 @@ Subcommands::
 
     repro run {EXPERIMENT ... | --all} [--quick] [--workers N]
               [--out DIR | --no-store] [--seed N] [--set key=value ...]
+              [--max-retries N] [--trial-timeout S] [--chaos SPEC]
         Run experiments through the registry.  By default every run is
         persisted to the results store under ``--out`` (``results/``), so
         rerunning the same configuration *resumes*: cells whose rows are
-        already stored are skipped.
+        already stored are skipped.  Execution goes through the
+        supervising executor (retries, broken-pool recovery, optional
+        hang watchdog); ``--chaos`` injects a seeded, replayable fault
+        pattern for chaos testing (``repro fuzz`` and ``repro search``
+        take the same three flags).  See "Fault tolerance & chaos
+        testing" in PERFORMANCE.md.
 
     repro show {RUN_DIR | EXPERIMENT} [--out DIR]
         Render a stored run (a run directory, or the latest stored run of
@@ -203,8 +209,35 @@ def _resolve_run_params(experiment: Experiment,
     return experiment.resolve_params(overrides or None, quick=args.quick)
 
 
+def _execution_policy(args: argparse.Namespace):
+    """The resilience knobs as (policy, injector) for one invocation.
+
+    Parses ``--chaos`` (default: ``$REPRO_CHAOS``) and combines it with
+    ``--max-retries``/``--trial-timeout``.  Raises ``ValueError`` on a bad
+    spec — callers treat that as a usage error.
+    """
+    from repro.faults import build_injector, parse_chaos_spec
+    from repro.runner import ExecutionPolicy, RetryPolicy
+
+    chaos = parse_chaos_spec(args.chaos)
+    policy = ExecutionPolicy(
+        retry=RetryPolicy(max_retries=args.max_retries),
+        trial_timeout=args.trial_timeout, chaos=chaos)
+    return policy, build_injector(chaos)
+
+
+def _print_health(health) -> None:
+    """Report the recovery actions of one run (silent when clean)."""
+    if health is None or health.clean:
+        return
+    print(f"run health: {health.summary()}")
+    for entry in health.failures:
+        print(f"  failed trial {entry.get('tag')}: {entry.get('error')} "
+              f"({entry.get('attempts')} attempts)")
+
+
 def _open_store(args: argparse.Namespace, name: str,
-                params: Dict[str, Any]):
+                params: Dict[str, Any], fault_injector=None, health=None):
     """Open the run store (unless ``--no-store``), with resume state.
 
     Returns:
@@ -213,7 +246,8 @@ def _open_store(args: argparse.Namespace, name: str,
     """
     if args.no_store:
         return None, 0, False
-    store = RunStore.open(args.out, name, params, workers=args.workers)
+    store = RunStore.open(args.out, name, params, workers=args.workers,
+                          fault_injector=fault_injector, health=health)
     return store, store.row_count, bool(store.manifest.get("completed"))
 
 
@@ -240,6 +274,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("repro run: name at least one experiment, or pass --all",
               file=sys.stderr)
         return 2
+    from repro.runner import RunHealth
+
+    try:
+        policy, injector = _execution_policy(args)
+    except ValueError as error:
+        return _usage_error("run", error)
     exit_code = 0
     for name in names:
         try:
@@ -250,11 +290,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # experiments still regenerate (and persist) their tables.
             exit_code = _usage_error("run", error)
             continue
-        store, cached, was_complete = _open_store(args, experiment.name,
-                                                  params)
+        health = RunHealth()
+        store, cached, was_complete = _open_store(
+            args, experiment.name, params, fault_injector=injector,
+            health=health)
         started = time.time()
         rows = experiment.run(params=params, workers=args.workers,
-                              store=store)
+                              store=store, policy=policy, health=health)
         wall_time = time.time() - started
         header = f"== {experiment.name}: {experiment.title} " \
                  f"({wall_time:.1f}s"
@@ -264,6 +306,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         header += ") =="
         print(header)
         print(format_table(rows))
+        _print_health(health)
         print()
     return exit_code
 
@@ -316,8 +359,25 @@ def _cmd_show(args: argparse.Namespace) -> int:
           + f", seed {manifest.get('seed')}, "
           f"v{manifest.get('package_version')}) ==")
     print(f"params: {manifest['params']}")
+    _show_manifest_health(manifest)
     print(format_table(rows))
     return 0
+
+
+def _show_manifest_health(manifest: Mapping[str, Any]) -> None:
+    """Surface a stored run's ``run_health`` block (silent when clean)."""
+    block = manifest.get("run_health") or {}
+    failures = block.get("failures", [])
+    counters = {key: value for key, value in block.items()
+                if key != "failures" and value}
+    if not counters and not failures:
+        return
+    rendered = " ".join(f"{key}={value}"
+                        for key, value in sorted(counters.items()))
+    print(f"run health: {rendered or '-'} failures={len(failures)}")
+    for entry in failures:
+        print(f"  failed trial {entry.get('tag')}: {entry.get('error')} "
+              f"({entry.get('attempts')} attempts)")
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -328,11 +388,20 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             max_steps=args.max_steps, engine=args.engine)
     except (KeyError, ValueError) as error:
         return _usage_error("fuzz", error)
-    store, cached, was_complete = _open_store(args, FUZZ_EXPERIMENT,
-                                              params)
+    from repro.runner import RunHealth
+
+    try:
+        policy, injector = _execution_policy(args)
+    except ValueError as error:
+        return _usage_error("fuzz", error)
+    health = RunHealth()
+    store, cached, was_complete = _open_store(
+        args, FUZZ_EXPERIMENT, params, fault_injector=injector,
+        health=health)
     started = time.time()
     report = run_fuzz_campaign(params, workers=args.workers, store=store,
-                               minimize=args.minimize)
+                               minimize=args.minimize, policy=policy,
+                               health=health)
     wall_time = time.time() - started
     header = (f"== fuzz: {params['trials']} trials of "
               f"{params['protocol']} (n={params['n']}, t={params['t']}, "
@@ -346,6 +415,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                                 extra_work=report.minimized_trials)
     header += ") =="
     print(header)
+    _print_health(health)
     findings = report.findings
     if not findings:
         print(f"no invariant violations in {params['trials']} trials")
@@ -377,10 +447,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
             verify=not args.no_verify, target_score=args.target_score)
     except (KeyError, ValueError) as error:
         return _usage_error("search", error)
-    store, cached, was_complete = _open_store(args, SEARCH_EXPERIMENT,
-                                              params)
+    from repro.runner import RunHealth
+
+    try:
+        policy, injector = _execution_policy(args)
+    except ValueError as error:
+        return _usage_error("search", error)
+    health = RunHealth()
+    store, cached, was_complete = _open_store(
+        args, SEARCH_EXPERIMENT, params, fault_injector=injector,
+        health=health)
     started = time.time()
-    report = run_search_campaign(params, workers=args.workers, store=store)
+    report = run_search_campaign(params, workers=args.workers, store=store,
+                                 policy=policy, health=health)
     wall_time = time.time() - started
     header = (f"== search: {params['strategy']} x "
               f"{params['generations']}x{params['population']} toward "
@@ -395,6 +474,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
                                 unit="evaluations", extra_work=1)
     header += ") =="
     print(header)
+    _print_health(health)
     print(format_table(report.generation_summary()))
     print(f"\nbest score: {report.best_score} "
           f"(generation {report.best_generation})")
@@ -476,6 +556,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """The supervising executor's knobs, shared by run/fuzz/search."""
+    from repro.faults import CHAOS_ENV
+
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="re-executions of a failed chunk/trial "
+                             "before quarantine (default: 2; 0 disables)")
+    parser.add_argument("--trial-timeout", type=float, default=None,
+                        help="per-trial wall-clock budget in seconds; "
+                             "enables the hang watchdog (default: off)")
+    parser.add_argument("--chaos", default=os.environ.get(CHAOS_ENV),
+                        help="inject deterministic faults, e.g. "
+                             "'crash=0.2,hang=0.1,raise=0.1,seed=7' "
+                             "(kinds: crash, hang, raise, poison, torn; "
+                             "default: $REPRO_CHAOS)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -518,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--set", action="append", metavar="KEY=VALUE",
                             help="override one experiment parameter "
                                  "(repeatable; value is a Python literal)")
+    _add_resilience_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     fuzz_parser = subparsers.add_parser(
@@ -556,6 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="results-store root (default: results/)")
     fuzz_parser.add_argument("--no-store", action="store_true",
                              help="print findings only, persist nothing")
+    _add_resilience_args(fuzz_parser)
     fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     search_parser = subparsers.add_parser(
@@ -606,6 +705,7 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--no-store", action="store_true",
                                help="print the summary only, persist "
                                     "nothing")
+    _add_resilience_args(search_parser)
     search_parser.set_defaults(func=_cmd_search)
 
     replay_parser = subparsers.add_parser(

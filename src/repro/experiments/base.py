@@ -28,6 +28,7 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
 
 from repro.runner import TrialSpec, iter_trials, run_trials
+from repro.runner.health import RunHealth, TrialFailure
 from repro.simulation.trace import ExecutionResult
 
 Row = Dict[str, Any]
@@ -68,6 +69,9 @@ class RowStore:
 
     def write_row(self, index: int, key: Tuple[Any, ...], row: Row) -> None:
         """Persist one freshly computed row."""
+
+    def record_health(self, health: Optional["RunHealth"]) -> None:
+        """Persist one execution's run-health ledger (no-op by default)."""
 
 
 def cell_key_id(key: Sequence[Any]) -> str:
@@ -135,7 +139,9 @@ class Experiment:
 
     def run(self, params: Optional[Mapping[str, Any]] = None, *,
             quick: bool = False, workers: Optional[int] = None,
-            store: Optional[RowStore] = None) -> List[Row]:
+            store: Optional[RowStore] = None,
+            policy: Optional[Any] = None,
+            health: Optional[RunHealth] = None) -> List[Row]:
         """Run the experiment and return its rows.
 
         Without a ``store`` the whole spec batch goes through one
@@ -145,38 +151,66 @@ class Experiment:
         streamed batch — full worker fan-out, with each row written to
         disk the moment its cell's results arrive.  Both paths produce
         identical rows because every seed is fixed at cell-build time.
+
+        Execution always goes through the supervising executor
+        (:class:`~repro.runner.supervisor.SupervisedRunner`): retries and
+        broken-pool recovery are on by default, tunable via ``policy``.
+        A cell whose trials exhausted every recovery rung yields no row —
+        its failure is recorded in ``health`` (and, with a store, in the
+        manifest's ``run_health`` block) instead of killing the run; a
+        later resume retries exactly the missing cells.
         """
+        from repro.runner.supervisor import ExecutionPolicy
+
         merged = self.resolve_params(params, quick=quick)
         rng = random.Random(merged["seed"])
         cells = self.build_cells(merged, rng)
+        if policy is None:
+            policy = ExecutionPolicy()
+        if health is None:
+            health = RunHealth()
         rows: List[Row] = []
         if store is None:
             batch = [spec for cell in cells for spec in cell.specs]
-            results = run_trials(batch, workers=workers)
+            results = run_trials(batch, workers=workers, policy=policy,
+                                 health=health)
             offset = 0
             for cell in cells:
                 chunk = results[offset:offset + len(cell.specs)]
                 offset += len(cell.specs)
-                rows.append(cell.build_row(chunk))
+                if not _cell_failed(chunk):
+                    rows.append(cell.build_row(chunk))
         else:
             completed = store.completed_rows()
             pending = [(index, cell) for index, cell in enumerate(cells)
                        if cell_key_id(cell.key) not in completed]
             stream = iter_trials(
                 [spec for _, cell in pending for spec in cell.specs],
-                workers=workers)
+                workers=workers, policy=policy, health=health)
             fresh: Dict[int, Row] = {}
             for index, cell in pending:
                 chunk = [next(stream) for _ in cell.specs]
+                if _cell_failed(chunk):
+                    # The failure is already in the health ledger; the
+                    # cell stays unwritten so a resume retries it.
+                    continue
                 row = cell.build_row(chunk)
                 store.write_row(index, cell.key, row)
                 fresh[index] = row
             for index, cell in enumerate(cells):
                 stored = completed.get(cell_key_id(cell.key))
-                rows.append(fresh[index] if stored is None else stored)
+                row = fresh.get(index) if stored is None else stored
+                if row is not None:
+                    rows.append(row)
+            store.record_health(health)
         if self.finalize is not None:
             rows = rows + self.finalize(rows, merged)
         return rows
+
+
+def _cell_failed(chunk: Sequence[Any]) -> bool:
+    """Whether any trial in a cell's result chunk failed for good."""
+    return any(isinstance(item, TrialFailure) for item in chunk)
 
 
 __all__ = ["Cell", "Experiment", "Row", "RowStore", "cell_key_id"]

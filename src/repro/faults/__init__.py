@@ -1,0 +1,41 @@
+"""Deterministic fault injection for chaos-testing the execution layer.
+
+The paper's protocols are measured under adversarial faults; this package
+holds the *harness* to the same bar.  A :class:`ChaosConfig` is a seeded,
+replayable fault pattern — worker crashes, trial hangs, raised
+exceptions, deterministic poison trials, torn row writes — that the
+supervising executor (:mod:`repro.runner.supervisor`) and the results
+store thread through every trial.  Because every fault decision is a pure
+function of the chaos seed and the trial's content fingerprint, a chaos
+run is exactly reproducible: same faults, same recoveries, and (the
+keystone property) surviving results bit-identical to a fault-free
+serial run.
+
+See the "Fault tolerance & chaos testing" section of ``PERFORMANCE.md``.
+"""
+
+from repro.faults.injector import (CHAOS_ENV, CRASH, FAULT_KINDS, HANG,
+                                   POISON, QUARANTINE_SCOPE, RAISE,
+                                   SERIAL_SCOPE, TORN, WORKER_SCOPE,
+                                   ChaosConfig, FaultInjector, InjectedFault,
+                                   build_injector, parse_chaos_spec,
+                                   spec_fingerprint)
+
+__all__ = [
+    "CHAOS_ENV",
+    "CRASH",
+    "HANG",
+    "RAISE",
+    "POISON",
+    "TORN",
+    "FAULT_KINDS",
+    "WORKER_SCOPE",
+    "SERIAL_SCOPE",
+    "QUARANTINE_SCOPE",
+    "ChaosConfig",
+    "FaultInjector",
+    "InjectedFault",
+    "build_injector",
+    "parse_chaos_spec",
+    "spec_fingerprint",
+]

@@ -29,6 +29,8 @@ import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.base import Row, RowStore, cell_key_id
+from repro.runner.health import (RunHealth, empty_health_block,
+                                 merge_health_block)
 
 MANIFEST_NAME = "manifest.json"
 ROWS_NAME = "rows.jsonl"
@@ -64,16 +66,23 @@ class RunStore(RowStore):
 
     def __init__(self, path: str, experiment: str,
                  params: Mapping[str, Any],
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 fault_injector: Optional[Any] = None,
+                 health: Optional[RunHealth] = None) -> None:
         self.path = path
         self.experiment = experiment
         self.params = _jsonable(params)
         self.workers = workers
+        self._fault_injector = fault_injector
+        self._health = health
         self._rows: Dict[str, Tuple[int, Row]] = {}
         os.makedirs(self.path, exist_ok=True)
         self._created_at: Optional[str] = None
+        self._health_block: Optional[Dict[str, Any]] = None
         if os.path.exists(self._manifest_path):
-            self._created_at = self.manifest.get("created_at")
+            manifest = self.manifest
+            self._created_at = manifest.get("created_at")
+            self._health_block = manifest.get("run_health")
         self._load_existing()
         # Constructing a store only *reads*; the manifest is (re)written
         # by open(), write_row() and finish(), never on the load path.
@@ -81,10 +90,13 @@ class RunStore(RowStore):
     # -- opening ------------------------------------------------------
     @classmethod
     def open(cls, root: str, experiment: str, params: Mapping[str, Any],
-             workers: Optional[int] = None) -> "RunStore":
+             workers: Optional[int] = None,
+             fault_injector: Optional[Any] = None,
+             health: Optional[RunHealth] = None) -> "RunStore":
         """Open (creating or resuming) the run for this configuration."""
         store = cls(run_directory(root, experiment, params), experiment,
-                    params, workers=workers)
+                    params, workers=workers, fault_injector=fault_injector,
+                    health=health)
         store._write_manifest(completed=store._manifest_completed(),
                               wall_time=store._manifest_wall_time())
         return store
@@ -94,13 +106,35 @@ class RunStore(RowStore):
         return {key: row for key, (_, row) in self._rows.items()}
 
     def write_row(self, index: int, key: Sequence[Any], row: Row) -> None:
-        record = {"index": index, "key": list(key), "row": row}
+        key_id = cell_key_id(key)
+        payload = json.dumps({"index": index, "key": list(key), "row": row})
         with open(self._rows_path, "a") as handle:
-            handle.write(json.dumps(record) + "\n")
+            if self._fault_injector is not None and \
+                    self._fault_injector.decide_torn(key_id):
+                # Injected torn write: a truncated (unparseable) copy of
+                # the record on its own line, modelling a kill mid-write.
+                # The loader skips torn lines, and the intact record
+                # below is the recovery write.
+                handle.write(payload[:max(1, len(payload) // 2)] + "\n")
+                if self._health is not None:
+                    self._health.torn_writes += 1
+            handle.write(payload + "\n")
             handle.flush()
-        self._rows[cell_key_id(key)] = (index, row)
+        self._rows[key_id] = (index, row)
         # Keep row_count current so a killed run's manifest is accurate.
         self._write_manifest(completed=False, wall_time=None)
+
+    def record_health(self, health: Optional[RunHealth]) -> None:
+        """Fold one execution's health ledger into the manifest.
+
+        Counters accumulate across resumed runs; a clean ledger is a
+        no-op (the manifest keeps its existing block untouched).
+        """
+        if health is None or health.clean:
+            return
+        self._health_block = merge_health_block(self._health_block, health)
+        self._write_manifest(completed=self._manifest_completed(),
+                             wall_time=self._manifest_wall_time())
 
     # -- completion ---------------------------------------------------
     def finish(self, wall_time: float) -> None:
@@ -186,6 +220,8 @@ class RunStore(RowStore):
             "completed": completed,
             "wall_time_seconds": wall_time,
             "row_count": len(self._rows),
+            "run_health": self._health_block if self._health_block
+            is not None else empty_health_block(),
         }
         tmp_path = self._manifest_path + ".tmp"
         with open(tmp_path, "w") as handle:
@@ -215,7 +251,7 @@ def list_runs(root: str,
                            for name in sorted(os.listdir(root))]
     else:
         experiment_dirs = []
-    runs: List[Tuple[float, str]] = []
+    runs: List[Tuple[float, str, str]] = []
     for experiment_dir in experiment_dirs:
         if not os.path.isdir(experiment_dir):
             continue
@@ -223,9 +259,13 @@ def list_runs(root: str,
             run_dir = os.path.join(experiment_dir, digest)
             manifest = os.path.join(run_dir, MANIFEST_NAME)
             if os.path.isfile(manifest):
-                runs.append((os.path.getmtime(manifest), run_dir))
+                # Filesystem mtimes have coarse resolution, so two runs
+                # written back-to-back can tie; the digest breaks the tie
+                # deterministically instead of leaving the order to
+                # directory-listing accidents.
+                runs.append((os.path.getmtime(manifest), digest, run_dir))
     runs.sort(reverse=True)
-    return [run_dir for _, run_dir in runs]
+    return [run_dir for _, _, run_dir in runs]
 
 
 def latest_run(root: str, experiment: str) -> Optional[str]:

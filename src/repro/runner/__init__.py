@@ -14,10 +14,14 @@ from repro.runner.aggregate import (correctness_flags, group_by_tag,
                                     measure, message_chain_length,
                                     undecided_windows,
                                     windows_to_first_decision)
+from repro.runner.health import (RunHealth, TrialFailure,
+                                 empty_health_block, merge_health_block)
 from repro.runner.parallel import (ParallelRunner, default_workers,
                                    iter_trials, run_trials)
 from repro.runner.spec import (STEP_ENGINE, WINDOW_ENGINE, TrialSpec,
                                derive_seed, execute_trial)
+from repro.runner.supervisor import (ExecutionPolicy, RetryPolicy,
+                                     SupervisedRunner)
 
 __all__ = [
     "TrialSpec",
@@ -26,6 +30,13 @@ __all__ = [
     "WINDOW_ENGINE",
     "STEP_ENGINE",
     "ParallelRunner",
+    "SupervisedRunner",
+    "ExecutionPolicy",
+    "RetryPolicy",
+    "RunHealth",
+    "TrialFailure",
+    "empty_health_block",
+    "merge_health_block",
     "run_trials",
     "iter_trials",
     "default_workers",

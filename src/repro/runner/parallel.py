@@ -18,8 +18,9 @@ import math
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
+from repro.runner.health import TrialFailure
 from repro.runner.spec import TrialSpec, execute_trial
 from repro.simulation.trace import ExecutionResult
 
@@ -75,49 +76,100 @@ class ParallelRunner:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size
 
-    def run(self, specs: Iterable[TrialSpec]) -> List[ExecutionResult]:
+    def run(self, specs: Iterable[TrialSpec]) -> List[Any]:
         """Execute every spec, returning results in submission order."""
         return list(self.iter_results(specs))
 
-    def iter_results(self, specs: Iterable[TrialSpec]
-                     ) -> Iterator[ExecutionResult]:
-        """Execute every spec, yielding results in submission order.
+    def iter_results(self, specs: Iterable[TrialSpec]) -> Iterator[Any]:
+        """Execute every spec, yielding one item per spec in order.
 
         Results stream as their chunks complete, so a consumer can act on
         early trials (e.g. persist experiment rows) while later trials
         are still running in the workers.  All specs are submitted to the
         pool up front — streaming changes consumption, not parallelism.
+
+        Every chunk is dispatched as its own future, so one failing chunk
+        never discards the completed work of the others: the failed chunk
+        is re-executed serially in-process, spec by spec, and any spec
+        that still raises yields a
+        :class:`~repro.runner.health.TrialFailure` in place of its
+        result.  (For retries, watchdog timeouts and broken-pool
+        recovery, use :class:`~repro.runner.supervisor.SupervisedRunner`.)
         """
         spec_list = list(specs)
         workers = min(self.workers, len(spec_list))
         if workers <= 0 or len(spec_list) == 1:
             for spec in spec_list:
-                yield execute_trial(spec)
+                yield from self._recover_chunk([spec])
             return
-        chunk = self.chunk_size or max(
-            1, math.ceil(len(spec_list) / (workers * 4)))
-        chunks = [spec_list[i:i + chunk]
-                  for i in range(0, len(spec_list), chunk)]
+        chunks = self._chunk_specs(spec_list)
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=_mp_context()) as pool:
-            for batch in pool.map(_execute_chunk, chunks):
+            futures = [pool.submit(_execute_chunk, chunk)
+                       for chunk in chunks]
+            for chunk, future in zip(chunks, futures):
+                try:
+                    batch = future.result()
+                except Exception:
+                    # The chunk (or its whole worker) failed; recover it
+                    # serially so sibling chunks' results are kept.
+                    batch = self._recover_chunk(chunk)
                 yield from batch
+
+    def _chunk_specs(self, spec_list: List[TrialSpec]
+                     ) -> List[List[TrialSpec]]:
+        """Split a batch into dispatch chunks (several per worker)."""
+        workers = max(1, min(self.workers, len(spec_list)))
+        chunk = self.chunk_size or max(
+            1, math.ceil(len(spec_list) / (workers * 4)))
+        return [spec_list[i:i + chunk]
+                for i in range(0, len(spec_list), chunk)]
+
+    @staticmethod
+    def _recover_chunk(specs: Sequence[TrialSpec]) -> List[Any]:
+        """Execute specs one by one, recording raisers as failures."""
+        recovered: List[Any] = []
+        for spec in specs:
+            try:
+                recovered.append(execute_trial(spec))
+            except Exception as error:
+                recovered.append(TrialFailure(
+                    spec=spec, error=repr(error), attempts=1))
+        return recovered
 
 
 def run_trials(specs: Iterable[TrialSpec],
                workers: Optional[int] = None,
-               chunk_size: Optional[int] = None) -> List[ExecutionResult]:
-    """Convenience wrapper: build a runner and execute the specs."""
-    return ParallelRunner(workers=workers, chunk_size=chunk_size).run(specs)
+               chunk_size: Optional[int] = None,
+               policy=None, health=None) -> List[Any]:
+    """Convenience wrapper: build a runner and execute the specs.
+
+    Passing ``policy`` and/or ``health`` selects the supervising executor
+    (retries, watchdog, chaos injection) instead of the bare runner.
+    """
+    return _build_runner(workers, chunk_size, policy, health).run(specs)
 
 
 def iter_trials(specs: Iterable[TrialSpec],
                 workers: Optional[int] = None,
-                chunk_size: Optional[int] = None
-                ) -> Iterator[ExecutionResult]:
-    """Convenience wrapper: stream results in submission order."""
-    return ParallelRunner(workers=workers,
-                          chunk_size=chunk_size).iter_results(specs)
+                chunk_size: Optional[int] = None,
+                policy=None, health=None) -> Iterator[Any]:
+    """Convenience wrapper: stream results in submission order.
+
+    Passing ``policy`` and/or ``health`` selects the supervising executor
+    (retries, watchdog, chaos injection) instead of the bare runner.
+    """
+    return _build_runner(workers, chunk_size, policy,
+                         health).iter_results(specs)
+
+
+def _build_runner(workers, chunk_size, policy, health) -> "ParallelRunner":
+    if policy is None and health is None:
+        return ParallelRunner(workers=workers, chunk_size=chunk_size)
+    # Imported lazily: supervisor builds on this module.
+    from repro.runner.supervisor import SupervisedRunner
+    return SupervisedRunner(workers=workers, chunk_size=chunk_size,
+                            policy=policy, health=health)
 
 
 __all__ = ["ParallelRunner", "run_trials", "iter_trials", "default_workers"]

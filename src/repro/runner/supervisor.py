@@ -1,0 +1,325 @@
+"""The supervising executor: retries, watchdog, quarantine, chaos.
+
+:class:`SupervisedRunner` extends the plain chunked fan-out of
+:class:`~repro.runner.parallel.ParallelRunner` with the recovery ladder a
+long campaign needs to survive real (or injected) faults:
+
+1. **Per-chunk retries** — a chunk whose worker raised is resubmitted,
+   with deterministic exponential backoff, up to
+   :class:`RetryPolicy.max_retries` times.
+2. **Pool rebuilds** — a ``BrokenProcessPool`` (a worker died mid-chunk)
+   tears the pool down, builds a fresh one, and re-dispatches only the
+   chunks that have not finished; completed results are never recomputed.
+3. **Watchdog timeouts** — with a per-trial wall-clock budget set, a
+   window in which *no* chunk completes is treated as a hang: the worker
+   processes are terminated, the pool is rebuilt, and the in-flight
+   chunks count a retry.
+4. **Serial quarantine** — a chunk that exhausts its retry budget is
+   re-executed spec by spec in the supervising process, isolating the
+   poison trial: its innocent neighbours still produce results, and the
+   poison trial itself becomes a :class:`~repro.runner.health.
+   TrialFailure` recorded in :class:`~repro.runner.health.RunHealth`
+   instead of a dead run.
+
+At ``workers=0`` the same ladder degrades gracefully to a serial retry
+loop in-process (injected crashes and hangs degrade to recorded raised
+faults — see :mod:`repro.faults.injector`).
+
+Because retries re-execute *deterministic* specs, every recovered result
+is bit-identical to what a fault-free run would have produced: the
+supervisor changes wall-clock time and the health counters, never values.
+The executor yields exactly one item per submitted spec, in submission
+order — an ``ExecutionResult``, or a ``TrialFailure`` for specs it gave
+up on.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait)
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.faults.injector import (QUARANTINE_SCOPE, SERIAL_SCOPE,
+                                   WORKER_SCOPE, ChaosConfig, FaultInjector,
+                                   build_injector)
+from repro.runner.health import RunHealth, TrialFailure
+from repro.runner.parallel import ParallelRunner, _mp_context
+from repro.runner.spec import TrialSpec, execute_trial
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    Attributes:
+        max_retries: how many times a failed chunk/trial is re-executed
+            before falling through to quarantine (chunks) or a recorded
+            failure (trials).  ``0`` disables retries.
+        backoff_seconds: base delay before the first retry.
+        backoff_cap_seconds: upper bound on any single delay.
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_cap_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds < 0 or self.backoff_cap_seconds < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """The backoff before (1-based) retry ``attempt``."""
+        return min(self.backoff_cap_seconds,
+                   self.backoff_seconds * (2 ** max(0, attempt - 1)))
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Everything the supervising executor is allowed (and told) to do.
+
+    Attributes:
+        retry: the chunk/trial retry budget and backoff.
+        trial_timeout: per-trial wall-clock budget in seconds; the
+            watchdog window for a chunk is ``trial_timeout * len(chunk)``.
+            ``None`` disables the watchdog (a hung worker then hangs the
+            run — set a budget for chaos runs that inject hangs).
+        chaos: the fault pattern to inject (``None`` = no injection).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    trial_timeout: Optional[float] = None
+    chaos: Optional[ChaosConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ValueError(
+                f"trial_timeout must be positive, got {self.trial_timeout}")
+        if self.chaos is not None and self.chaos.hang > 0 and \
+                self.trial_timeout is None:
+            raise ValueError(
+                "chaos hang injection needs a trial timeout "
+                "(--trial-timeout), or hung workers would hang the run")
+
+
+def _execute_chunk_guarded(specs: Sequence[TrialSpec],
+                           injector: Optional[FaultInjector],
+                           attempt: int) -> List[Any]:
+    """Worker-side entry point: run one chunk, applying injected faults."""
+    if injector is None:
+        return [execute_trial(spec) for spec in specs]
+    return [injector.apply(spec, attempt, WORKER_SCOPE) for spec in specs]
+
+
+class SupervisedRunner(ParallelRunner):
+    """A :class:`ParallelRunner` wrapped in the full recovery ladder.
+
+    Args:
+        workers: as in :class:`ParallelRunner`.
+        chunk_size: as in :class:`ParallelRunner`.
+        policy: retry/watchdog/chaos configuration
+            (default: :class:`ExecutionPolicy`'s defaults — 2 retries,
+            no watchdog, no chaos).
+        health: the :class:`RunHealth` ledger to record recovery actions
+            into (default: a fresh one, exposed as ``self.health``).
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 policy: Optional[ExecutionPolicy] = None,
+                 health: Optional[RunHealth] = None) -> None:
+        super().__init__(workers=workers, chunk_size=chunk_size)
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.health = health if health is not None else RunHealth()
+        self.injector = build_injector(self.policy.chaos)
+
+    # -- public surface ------------------------------------------------
+    def iter_results(self, specs: Iterable[TrialSpec]) -> Iterator[Any]:
+        """Execute every spec, yielding one item per spec in order.
+
+        Items are ``ExecutionResult``s, or :class:`TrialFailure` for
+        specs whose execution kept failing through every recovery rung.
+        """
+        spec_list = list(specs)
+        workers = min(self.workers, len(spec_list))
+        if workers <= 0 or len(spec_list) == 1:
+            for spec in spec_list:
+                yield self._run_serial(spec, scope=SERIAL_SCOPE)
+            return
+        yield from self._supervise(self._chunk_specs(spec_list), workers)
+
+    # -- serial / quarantine path --------------------------------------
+    def _execute_once(self, spec: TrialSpec, attempt: int,
+                      scope: str) -> Any:
+        if self.injector is not None:
+            return self.injector.apply(spec, attempt, scope)
+        return execute_trial(spec)
+
+    def _run_serial(self, spec: TrialSpec, scope: str,
+                    base_attempt: int = 0) -> Any:
+        """One spec through the in-process retry loop of ``scope``.
+
+        Quarantine gets a single shot: its chunk already spent the whole
+        retry budget, so a failure there is final.
+        """
+        rounds = 1 if scope == QUARANTINE_SCOPE \
+            else self.policy.retry.max_retries + 1
+        attempt = base_attempt
+        last_error: Optional[BaseException] = None
+        for round_index in range(rounds):
+            try:
+                return self._execute_once(spec, attempt, scope)
+            except Exception as error:
+                last_error = error
+                attempt += 1
+                if round_index < rounds - 1:
+                    self.health.retries += 1
+                    time.sleep(self.policy.retry.delay(attempt))
+        failure = TrialFailure(spec=spec, error=repr(last_error),
+                               attempts=attempt)
+        self.health.record_failure(failure)
+        return failure
+
+    def _quarantine(self, specs: Sequence[TrialSpec],
+                    base_attempt: int) -> List[Any]:
+        """Re-run an exhausted chunk spec-by-spec in this process.
+
+        Isolates the poison trial: innocents produce their (bit-identical)
+        results; the trial that keeps failing becomes a recorded
+        :class:`TrialFailure`.
+        """
+        self.health.quarantined += len(specs)
+        return [self._run_serial(spec, scope=QUARANTINE_SCOPE,
+                                 base_attempt=base_attempt)
+                for spec in specs]
+
+    # -- the supervised parallel loop ----------------------------------
+    def _supervise(self, chunks: List[List[TrialSpec]],
+                   workers: int) -> Iterator[Any]:
+        attempts = [0] * len(chunks)
+        resolved: Dict[int, List[Any]] = {}
+        next_yield = 0
+        pool: Optional[ProcessPoolExecutor] = None
+        futures: Dict[Any, int] = {}
+
+        def submit(index: int) -> bool:
+            """Dispatch one chunk; False when the pool is already broken."""
+            try:
+                futures[pool.submit(
+                    _execute_chunk_guarded, chunks[index], self.injector,
+                    attempts[index])] = index
+                return True
+            except BrokenExecutor:
+                return False
+
+        def settle(index: int) -> bool:
+            """Count a chunk failure; True when it went to quarantine."""
+            attempts[index] += 1
+            if attempts[index] <= self.policy.retry.max_retries:
+                self.health.retries += 1
+                return False
+            resolved[index] = self._quarantine(chunks[index],
+                                               attempts[index])
+            return True
+
+        def rebuild_after_failure() -> None:
+            nonlocal pool, futures
+            self._teardown(pool)
+            pool = None
+            self.health.pool_rebuilds += 1
+            affected = sorted(futures.values())
+            futures = {}
+            for index in affected:
+                settle(index)
+            if affected:
+                time.sleep(self.policy.retry.delay(
+                    max(attempts[index] for index in affected)))
+
+        try:
+            while next_yield < len(chunks):
+                while next_yield < len(chunks) and next_yield in resolved:
+                    yield from resolved.pop(next_yield)
+                    next_yield += 1
+                if next_yield >= len(chunks):
+                    break
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=workers,
+                                               mp_context=_mp_context())
+                    futures = {}
+                    broken = False
+                    for index in range(len(chunks)):
+                        if index not in resolved and not submit(index):
+                            broken = True
+                            break
+                    if broken:
+                        rebuild_after_failure()
+                    continue
+                if not futures:
+                    # Unreached in normal operation (unresolved chunks
+                    # are always in flight); force a rebuild rather than
+                    # spin if an unknown path ever lands here.
+                    self._teardown(pool)
+                    pool = None
+                    continue
+                window = self._watchdog_window(
+                    [chunks[index] for index in futures.values()])
+                done, _ = wait(set(futures), timeout=window,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    # No chunk finished inside the watchdog window: at
+                    # least one worker is hung.  Kill and rebuild.
+                    self.health.timeouts += 1
+                    rebuild_after_failure()
+                    continue
+                pool_broken = False
+                for future in done:
+                    index = futures.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        resolved[index] = future.result()
+                    elif isinstance(error, BrokenExecutor):
+                        pool_broken = True
+                        settle(index)
+                    else:
+                        # The chunk itself raised (the pool survives):
+                        # retry in place or quarantine.
+                        if not settle(index) and not pool_broken:
+                            time.sleep(self.policy.retry.delay(
+                                attempts[index]))
+                            if not submit(index):
+                                pool_broken = True
+                if pool_broken:
+                    rebuild_after_failure()
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _watchdog_window(self,
+                         in_flight: List[List[TrialSpec]]
+                         ) -> Optional[float]:
+        """The no-progress window before declaring a stall, or ``None``.
+
+        Conservative: sized for the *largest* in-flight chunk, so a slow
+        but progressing pool is never mistaken for a hung one as long as
+        ``trial_timeout`` genuinely bounds one trial.
+        """
+        if self.policy.trial_timeout is None or not in_flight:
+            return None
+        return self.policy.trial_timeout * max(
+            len(chunk) for chunk in in_flight)
+
+    @staticmethod
+    def _teardown(pool: Optional[ProcessPoolExecutor]) -> None:
+        """Terminate a (possibly hung) pool's workers and discard it."""
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+__all__ = ["ExecutionPolicy", "RetryPolicy", "SupervisedRunner"]

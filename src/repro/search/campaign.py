@@ -227,6 +227,10 @@ class SearchReport:
         best_artifact: path of the saved best-schedule artifact, if any.
         computed_evaluations: evaluations actually executed this run (the
             rest came cached from the store).
+        failed_evaluations: evaluations that produced no row because
+            execution kept failing through every recovery rung (their
+            candidates score ``-inf`` for the strategy and are retried by
+            a resumed campaign).
     """
 
     params: Dict[str, Any]
@@ -237,6 +241,7 @@ class SearchReport:
     run_dir: Optional[str] = None
     best_artifact: Optional[str] = None
     computed_evaluations: int = 0
+    failed_evaluations: int = 0
 
     @property
     def findings(self) -> List[Dict[str, Any]]:
@@ -342,7 +347,9 @@ def save_best_artifact(path: str, params: Dict[str, Any],
 
 def run_search_campaign(params: Dict[str, Any],
                         workers: Optional[int] = None,
-                        store: Optional[RunStore] = None) -> SearchReport:
+                        store: Optional[RunStore] = None,
+                        policy: Optional[Any] = None,
+                        health: Optional[Any] = None) -> SearchReport:
     """Run (or resume) a search campaign.
 
     Args:
@@ -352,9 +359,18 @@ def run_search_campaign(params: Dict[str, Any],
         store: an open results store; evaluations whose rows it already
             holds are skipped (their scores feed the strategy from cache),
             and the best-schedule artifact is written into it.
+        policy: execution policy for the supervising executor (retries,
+            watchdog, chaos); default: retries on, no watchdog, no chaos.
+        health: the run-health ledger recovery actions are recorded into.
     """
     from repro.experiments.base import cell_key_id
+    from repro.runner.health import RunHealth, TrialFailure
+    from repro.runner.supervisor import ExecutionPolicy
 
+    if policy is None:
+        policy = ExecutionPolicy()
+    if health is None:
+        health = RunHealth()
     strategy = campaign_strategy(params)
     objective = campaign_objective(params)
     checker = InvariantChecker()
@@ -377,10 +393,23 @@ def run_search_campaign(params: Dict[str, Any],
             [candidate_spec(params, objective, genomes[candidate],
                             generation, candidate)
              for candidate in pending],
-            workers=workers)
+            workers=workers, policy=policy, health=health)
         fresh: Dict[int, Dict[str, Any]] = {}
         for candidate in pending:
             result = next(stream)
+            if isinstance(result, TrialFailure):
+                # The failure is in the health ledger; the candidate gets
+                # a synthesized in-memory row (never persisted, so a
+                # resumed campaign retries it) scoring -inf below.
+                report.failed_evaluations += 1
+                fresh[candidate] = {
+                    "generation": generation, "candidate": candidate,
+                    "score": None, "undecided_windows": 0,
+                    "decided": False, "windows": 0, "total_resets": 0,
+                    "ok": None, "violations": "-",
+                    "best_score": _score_to_stored(best_so_far),
+                    "counterexample": None, "failed": True}
+                continue
             row = _evaluation_row(params, objective, checker, generation,
                                   candidate, result, best_so_far)
             if row["ok"] is False and store is not None:
@@ -394,14 +423,19 @@ def run_search_campaign(params: Dict[str, Any],
                 store.write_row(index, keys[candidate], row)
         rows = [completed.get(cell_key_id(key), fresh.get(candidate))
                 for candidate, key in enumerate(keys)]
-        scores = [_score_from_stored(row["score"]) for row in rows]
+        # A failed candidate scores -inf: it never becomes the best, and
+        # strategies treat it exactly like a maximally bad schedule.
+        scores = [-math.inf if row.get("failed")
+                  else _score_from_stored(row["score"]) for row in rows]
         frontiers = [int(row["undecided_windows"]) for row in rows]
         best_so_far = max(best_so_far, max(scores))
         strategy.observe(generation, genomes, scores, frontiers)
-        report.rows.extend(rows)
+        report.rows.extend(row for row in rows if not row.get("failed"))
         target = params.get("target_score")
         if target is not None and best_so_far >= target:
             break  # target hit: stop spending the remaining budget
+    if store is not None:
+        store.record_health(health)
     report.best_score = strategy.best_score
     report.best_schedule = strategy.best_schedule
     report.best_generation = strategy.best_generation

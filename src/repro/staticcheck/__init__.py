@@ -17,6 +17,8 @@ Check families (see ``STATIC_ANALYSIS.md`` for the full catalog):
   exercised by a scenario.
 * **S** — serialization/perf: hot-path classes keep ``__slots__``;
   trial specs stay picklable.
+* **F** — fault tolerance: the resilient executor may catch broadly,
+  but every broad handler re-raises or records the failure.
 
 Findings are silenced per line with ``# repro: allow[CODE] -- why``; a
 suppression without the justification is itself a finding (``X1``).
@@ -34,6 +36,7 @@ from typing import Optional, Set
 
 import repro
 from repro.staticcheck.checks_determinism import check_determinism
+from repro.staticcheck.checks_faults import check_faults
 from repro.staticcheck.checks_parity import check_parity
 from repro.staticcheck.checks_registry import check_registry
 from repro.staticcheck.checks_serialization import (SLOTS_MANIFEST,
@@ -44,8 +47,8 @@ from repro.staticcheck.report import (CHECK_CODES, CHECK_FAMILIES, Finding,
                                       expand_code_selection, filter_findings)
 from repro.staticcheck.walker import ProjectFiles, walk_project
 
-ALL_CHECKS = (check_determinism, check_parity, check_registry,
-              check_serialization)
+ALL_CHECKS = (check_determinism, check_faults, check_parity,
+              check_registry, check_serialization)
 
 
 def default_package_root() -> str:

@@ -1,0 +1,103 @@
+"""F — fault-tolerance checks.
+
+The resilient execution layer (``runner/``, ``faults/``) is allowed to
+catch broad exceptions — converting a failing trial into a retry, a
+quarantine pass, or a recorded :class:`~repro.runner.health.TrialFailure`
+is its whole job.  What it is *not* allowed to do is swallow one: a bare
+or broad ``except`` whose handler neither re-raises nor visibly feeds the
+recovery machinery turns a real fault into silent data loss, the exact
+failure mode the supervisor exists to prevent.
+
+* **F1** — a bare ``except:`` / ``except Exception`` / ``except
+  BaseException`` in an execution-path file whose handler neither
+  re-raises nor mentions the recovery vocabulary (``record``, ``health``,
+  ``failure``, ``quarantine``, ``recover``, ``retry``).  Narrow handlers
+  (``except ValueError``) are out of scope — catching a specific
+  exception is a statement of intent the broad forms lack.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.staticcheck.index import SymbolIndex
+from repro.staticcheck.report import Finding
+from repro.staticcheck.walker import ProjectFiles, SourceFile
+
+F_SCOPE_DIRS = ("runner", "faults")
+"""Package subdirectories the fault-tolerance (F) checks apply to."""
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+_RECOVERY_TOKENS = ("record", "health", "failure", "quarantine", "recover",
+                    "retry")
+"""Identifier fragments that mark a handler as feeding the recovery
+machinery (``self.health.retries += 1``, ``_recover_chunk(...)``,
+``TrialFailure(...)`` — matched case-insensitively as substrings)."""
+
+
+def _in_fault_scope(source: SourceFile) -> bool:
+    first = source.relpath.split("/", 1)[0]
+    return first in F_SCOPE_DIRS
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches everything (bare / Exception-wide)."""
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+        else [handler.type]
+    for node in types:
+        name = node.id if isinstance(node, ast.Name) else (
+            node.attr if isinstance(node, ast.Attribute) else None)
+        if name in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _identifiers(nodes: List[ast.stmt]) -> Iterator[str]:
+    for statement in nodes:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Name):
+                yield node.id
+            elif isinstance(node, ast.Attribute):
+                yield node.attr
+
+
+def _handler_recovers(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or feeds the recovery machinery."""
+    for statement in handler.body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Raise):
+                return True
+    for identifier in _identifiers(handler.body):
+        lowered = identifier.lower()
+        if any(token in lowered for token in _RECOVERY_TOKENS):
+            return True
+    return False
+
+
+def check_faults(project: ProjectFiles,
+                 index: SymbolIndex) -> List[Finding]:
+    """Run the F checks over every execution-path file."""
+    findings: List[Finding] = []
+    for relpath in sorted(project.files):
+        source = project.files[relpath]
+        if not _in_fault_scope(source):
+            continue
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node) or _handler_recovers(node):
+                continue
+            findings.append(Finding(
+                code="F1", path=relpath, line=node.lineno,
+                message="broad except on the execution path neither "
+                        "re-raises nor records the failure (retry, "
+                        "quarantine, or record a TrialFailure/health "
+                        "entry — never swallow)"))
+    return findings
+
+
+__all__ = ["F_SCOPE_DIRS", "check_faults"]

@@ -45,6 +45,10 @@ CHECK_CODES: Dict[str, str] = {
     # S — serialization/perf contracts on the hot path.
     "S1": "hot-path class in the slots manifest lost __slots__",
     "S2": "unpicklable value (lambda / local def) reaches a TrialSpec",
+    # F — fault tolerance: the resilient executor may catch broadly, but
+    # never swallow.
+    "F1": "broad except on the execution path that neither re-raises nor "
+          "records the failure",
     # X — linter meta.
     "X1": "suppression comment without a justification",
 }
@@ -55,6 +59,7 @@ CHECK_FAMILIES: Dict[str, str] = {
     "P": "parity",
     "R": "registry",
     "S": "serialization",
+    "F": "fault tolerance",
     "X": "linter meta",
 }
 

@@ -169,6 +169,9 @@ class FuzzReport:
         computed_trials: trials actually executed this run (the rest came
             cached from the store).
         minimized_trials: findings minimized this run.
+        failed_trials: trials that produced no row because execution kept
+            failing through every recovery rung (recorded in the run's
+            health ledger; a resumed campaign retries them).
     """
 
     params: Dict[str, Any]
@@ -176,6 +179,7 @@ class FuzzReport:
     run_dir: Optional[str] = None
     computed_trials: int = 0
     minimized_trials: int = 0
+    failed_trials: int = 0
 
     @property
     def findings(self) -> List[Dict[str, Any]]:
@@ -222,7 +226,9 @@ def minimize_finding(params: Dict[str, Any], index: int,
 def run_fuzz_campaign(params: Dict[str, Any],
                       workers: Optional[int] = None,
                       store: Optional[RunStore] = None,
-                      minimize: bool = False) -> FuzzReport:
+                      minimize: bool = False,
+                      policy: Optional[Any] = None,
+                      health: Optional[Any] = None) -> FuzzReport:
     """Run (or resume) a fuzz campaign.
 
     Args:
@@ -234,11 +240,20 @@ def run_fuzz_campaign(params: Dict[str, Any],
             the minimized schedule as a counterexample artifact (requires
             a store for the artifact files; unstored campaigns record the
             minimized size only).
+        policy: execution policy for the supervising executor (retries,
+            watchdog, chaos); default: retries on, no watchdog, no chaos.
+        health: the run-health ledger recovery actions are recorded into.
     """
     import os
 
     from repro.experiments.base import cell_key_id
+    from repro.runner.health import RunHealth, TrialFailure
+    from repro.runner.supervisor import ExecutionPolicy
 
+    if policy is None:
+        policy = ExecutionPolicy()
+    if health is None:
+        health = RunHealth()
     specs = {index: fuzz_trial_spec(params, index)
              for index in range(params["trials"])}
     completed: Dict[str, Dict[str, Any]] = \
@@ -246,22 +261,33 @@ def run_fuzz_campaign(params: Dict[str, Any],
     pending = [index for index in range(params["trials"])
                if cell_key_id((FUZZ_EXPERIMENT, index)) not in completed]
     stream = iter_trials([specs[index] for index in pending],
-                         workers=workers)
+                         workers=workers, policy=policy, health=health)
     fresh: Dict[int, Dict[str, Any]] = {}
+    failed = 0
     for index in pending:
         result = next(stream)
+        if isinstance(result, TrialFailure):
+            # Recorded in the health ledger; the trial stays unwritten so
+            # a resumed campaign retries it.
+            failed += 1
+            continue
         row = _trial_row(params, index, specs[index], result)
         fresh[index] = row
         if store is not None:
             # Stream rows as trials finish, so a killed campaign resumes.
             store.write_row(index, (FUZZ_EXPERIMENT, index), row)
+    if store is not None:
+        store.record_health(health)
     rows: List[Dict[str, Any]] = []
     for index in range(params["trials"]):
         stored = completed.get(cell_key_id((FUZZ_EXPERIMENT, index)))
-        rows.append(fresh[index] if stored is None else stored)
+        row = fresh.get(index) if stored is None else stored
+        if row is not None:
+            rows.append(row)
     report = FuzzReport(params=params, rows=rows,
                         run_dir=store.path if store is not None else None,
-                        computed_trials=len(pending))
+                        computed_trials=len(pending) - failed,
+                        failed_trials=failed)
     if minimize and params["engine"] == WINDOW_ENGINE:
         for row in report.findings:
             if row.get("minimized_windows") is not None:

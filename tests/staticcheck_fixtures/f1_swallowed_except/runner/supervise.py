@@ -1,0 +1,11 @@
+"""F1 fixture: a broad except that swallows an execution failure."""
+
+
+def run_chunk(specs):
+    results = []
+    for spec in specs:
+        try:
+            results.append(execute_trial(spec))
+        except Exception:
+            pass
+    return results

@@ -1,0 +1,200 @@
+"""Tests for the deterministic fault injector behind chaos runs.
+
+The injector's load-bearing property mirrors the runner's: whether (and
+how) a trial is faulted is a pure function of ``(chaos seed, spec)``.
+Same config, same decisions — on any worker count, in any process, after
+any pickle round-trip — which is what lets the supervisor tests pin the
+keystone bit-identical-survivors property with fixed seeds.
+"""
+
+import pickle
+
+import pytest
+
+from repro.faults import (CRASH, FAULT_KINDS, HANG, POISON, RAISE,
+                          SERIAL_SCOPE, WORKER_SCOPE, ChaosConfig,
+                          FaultInjector, InjectedFault, build_injector,
+                          parse_chaos_spec, spec_fingerprint)
+from repro.runner import TrialSpec, execute_trial
+
+
+def make_spec(seed=0):
+    """One cheap window-engine spec; distinct seeds, distinct specs."""
+    return TrialSpec(
+        protocol="reset-tolerant", adversary="adaptive-resetting",
+        n=12, t=1, inputs=(0, 1) * 6, seed=seed,
+        adversary_kwargs={"seed": seed + 1}, max_windows=4,
+        stop_when="first", tag=("cell", seed))
+
+
+def make_battery(count=32):
+    return [make_spec(seed) for seed in range(count)]
+
+
+class TestParseChaosSpec:
+    def test_empty_means_chaos_off(self):
+        assert parse_chaos_spec(None) is None
+        assert parse_chaos_spec("") is None
+        assert parse_chaos_spec("   ") is None
+
+    def test_parses_kinds_and_seed(self):
+        chaos = parse_chaos_spec("crash=0.2,hang=0.1,raise=0.1,seed=7")
+        assert chaos == ChaosConfig(seed=7, crash=0.2, hang=0.1, raise_=0.1)
+
+    def test_parses_hang_seconds_and_torn(self):
+        chaos = parse_chaos_spec("hang=0.5,hang-seconds=2.5,torn=1.0")
+        assert chaos.hang_seconds == 2.5
+        assert chaos.torn == 1.0
+
+    def test_round_trips_through_to_spec(self):
+        chaos = ChaosConfig(seed=5, crash=0.25, poison=0.1, torn=0.5,
+                            hang=0.05, hang_seconds=60.0)
+        assert parse_chaos_spec(chaos.to_spec()) == chaos
+
+    @pytest.mark.parametrize("raw", [
+        "explode=0.5",          # unknown key
+        "crash",                # no value
+        "crash=lots",           # not a number
+        "seed=1.5",             # seed must be an int
+        "crash=1.5",            # probability out of range
+        "crash=0.6,poison=0.6"  # kinds sum past 1
+    ])
+    def test_rejects_bad_specs(self, raw):
+        with pytest.raises(ValueError):
+            parse_chaos_spec(raw)
+
+
+class TestChaosConfig:
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(raise_=-0.1)
+
+    def test_rejects_nonpositive_hang_seconds(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(hang_seconds=0.0)
+
+    def test_active_only_when_something_can_fire(self):
+        assert not ChaosConfig(seed=9).active
+        assert ChaosConfig(torn=0.01).active
+        assert ChaosConfig(crash=0.01).active
+
+    def test_probability_maps_raise_keyword(self):
+        chaos = ChaosConfig(raise_=0.3, crash=0.1)
+        assert chaos.probability(RAISE) == 0.3
+        assert chaos.probability(CRASH) == 0.1
+
+    def test_build_injector_skips_inert_configs(self):
+        assert build_injector(None) is None
+        assert build_injector(ChaosConfig(seed=3)) is None
+        assert build_injector(ChaosConfig(crash=0.5)) is not None
+
+
+class TestSpecFingerprint:
+    def test_stable_and_content_based(self):
+        assert spec_fingerprint(make_spec(4)) == spec_fingerprint(
+            make_spec(4))
+        assert spec_fingerprint(make_spec(4)) != spec_fingerprint(
+            make_spec(5))
+
+    def test_short_hex(self):
+        fingerprint = spec_fingerprint(make_spec())
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)
+
+
+class TestDecide:
+    def test_deterministic_across_injector_instances(self):
+        chaos = ChaosConfig(seed=5, crash=0.25, raise_=0.25)
+        first, second = FaultInjector(chaos), FaultInjector(chaos)
+        battery = make_battery()
+        assert [first.decide(spec) for spec in battery] == \
+            [second.decide(spec) for spec in battery]
+
+    def test_independent_of_decision_order(self):
+        injector = FaultInjector(ChaosConfig(seed=5, crash=0.5))
+        battery = make_battery()
+        forward = {spec.seed: injector.decide(spec) for spec in battery}
+        backward = {spec.seed: injector.decide(spec)
+                    for spec in reversed(battery)}
+        assert forward == backward
+
+    def test_chaos_seed_changes_the_pattern(self):
+        battery = make_battery()
+        patterns = {
+            seed: tuple(FaultInjector(ChaosConfig(seed=seed, crash=0.5))
+                        .decide(spec) for spec in battery)
+            for seed in (0, 1)}
+        assert patterns[0] != patterns[1]
+
+    def test_certain_probability_always_fires(self):
+        for kind in FAULT_KINDS:
+            key = "raise_" if kind == RAISE else kind
+            injector = FaultInjector(ChaosConfig(**{key: 1.0}))
+            assert all(injector.decide(spec) == kind
+                       for spec in make_battery(8))
+
+    def test_fires_semantics(self):
+        for kind in (CRASH, HANG, RAISE):
+            assert FaultInjector.fires(kind, 0)
+            assert not FaultInjector.fires(kind, 1)
+        assert FaultInjector.fires(POISON, 0)
+        assert FaultInjector.fires(POISON, 7)
+        assert not FaultInjector.fires(None, 0)
+
+
+class TestTornDecisions:
+    def test_fires_at_most_once_per_key(self):
+        injector = FaultInjector(ChaosConfig(torn=1.0))
+        assert injector.decide_torn('["E2", 12]')
+        assert not injector.decide_torn('["E2", 12]')
+        assert injector.decide_torn('["E2", 16]')
+
+    def test_zero_probability_never_fires(self):
+        injector = FaultInjector(ChaosConfig(seed=1, crash=0.5))
+        assert not injector.decide_torn('["E2", 12]')
+
+    def test_pickle_keeps_config_drops_torn_ledger(self):
+        injector = FaultInjector(ChaosConfig(seed=5, torn=1.0, crash=0.25))
+        assert injector.decide_torn("key")
+        copy = pickle.loads(pickle.dumps(injector))
+        assert copy.chaos == injector.chaos
+        # Trial decisions are pure, so the copy agrees with the original;
+        # the torn ledger is supervisor-side state and starts fresh.
+        spec = make_spec(3)
+        assert copy.decide(spec) == injector.decide(spec)
+        assert copy.decide_torn("key")
+
+
+class TestApply:
+    def test_clean_trial_executes_normally(self):
+        injector = FaultInjector(ChaosConfig(raise_=1.0))
+        spec = make_spec(2)
+        assert injector.apply(spec, 1, WORKER_SCOPE) == execute_trial(spec)
+
+    def test_raise_fault_is_transient(self):
+        injector = FaultInjector(ChaosConfig(raise_=1.0))
+        spec = make_spec(2)
+        with pytest.raises(InjectedFault):
+            injector.apply(spec, 0, WORKER_SCOPE)
+        assert injector.apply(spec, 1, WORKER_SCOPE) == execute_trial(spec)
+
+    def test_poison_fault_fires_on_every_attempt(self):
+        injector = FaultInjector(ChaosConfig(poison=1.0))
+        for attempt in (0, 1, 5):
+            with pytest.raises(InjectedFault):
+                injector.apply(make_spec(), attempt, WORKER_SCOPE)
+
+    def test_crash_degrades_to_raise_outside_worker_scope(self):
+        # A literal os._exit in serial scope would kill the supervising
+        # process (and this test run); the degradation contract is what
+        # makes workers=0 chaos runs safe.
+        injector = FaultInjector(ChaosConfig(crash=1.0))
+        spec = make_spec(1)
+        with pytest.raises(InjectedFault):
+            injector.apply(spec, 0, SERIAL_SCOPE)
+        assert injector.apply(spec, 1, SERIAL_SCOPE) == execute_trial(spec)
+
+    def test_hang_degrades_to_raise_outside_worker_scope(self):
+        injector = FaultInjector(ChaosConfig(hang=1.0, hang_seconds=3600.0))
+        with pytest.raises(InjectedFault):
+            injector.apply(make_spec(1), 0, SERIAL_SCOPE)

@@ -74,6 +74,25 @@ class TestStreamingAndLoad:
         assert latest_run(str(tmp_path), "E8") == runs[0]
         assert latest_run(str(tmp_path), "E1") is None
 
+    def test_list_runs_breaks_mtime_ties_by_digest(self, tmp_path):
+        # Filesystem mtimes are coarse enough for back-to-back runs to
+        # tie; the order must then come from the digest, not from
+        # directory-listing accidents.
+        experiment = get_experiment("E8")
+        paths = []
+        for seed in (1, 2, 3):
+            params = _resolved("E8", {"cs": (0.1,), "ns": (50,),
+                                      "seed": seed})
+            store = RunStore.open(str(tmp_path), "E8", params)
+            experiment.run(params=params, store=store)
+            store.finish(wall_time=0.0)
+            paths.append(store.path)
+        stamp = os.path.getmtime(os.path.join(paths[0], "manifest.json"))
+        for path in paths:
+            os.utime(os.path.join(path, "manifest.json"), (stamp, stamp))
+        assert list_runs(str(tmp_path)) == sorted(
+            paths, key=os.path.basename, reverse=True)
+
     def test_latest_run_prefers_completed_over_fresher_partial(
             self, tmp_path):
         experiment = get_experiment("E8")
