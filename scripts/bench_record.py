@@ -98,7 +98,16 @@ def distill(report: dict) -> dict:
 
 
 def compare(previous: dict, current: dict, threshold_pct: float) -> list:
-    """Names of benchmarks whose mean regressed beyond the threshold."""
+    """Benchmarks that regressed beyond the threshold.
+
+    Two regression directions are gated:
+
+    * ``mean_seconds`` growing (wall time, higher is worse);
+    * any shared ``extra_info`` ``*_per_sec`` metric shrinking
+      (throughput — ``candidate_evals_per_sec``, ``trials_per_sec`` —
+      lower is worse).  Non-numeric and unshared ``extra_info`` keys are
+      ignored, so benchmarks may attach arbitrary annotations.
+    """
     regressions = []
     factor = 1.0 + threshold_pct / 100.0
     for name, stats in current.items():
@@ -111,6 +120,20 @@ def compare(previous: dict, current: dict, threshold_pct: float) -> list:
             regressions.append(
                 f"{name}: {old_mean:.4f}s -> {new_mean:.4f}s "
                 f"(+{(new_mean / old_mean - 1) * 100:.1f}%)")
+        old_extra = old.get("extra_info") or {}
+        new_extra = stats.get("extra_info") or {}
+        for key in sorted(set(old_extra) & set(new_extra)):
+            if not key.endswith("_per_sec"):
+                continue
+            old_rate, new_rate = old_extra[key], new_extra[key]
+            if not all(isinstance(rate, (int, float)) and rate > 0
+                       for rate in (old_rate, new_rate)):
+                continue
+            if new_rate * factor < old_rate:
+                regressions.append(
+                    f"{name} [{key}]: {old_rate:.1f}/s -> "
+                    f"{new_rate:.1f}/s "
+                    f"({(new_rate / old_rate - 1) * 100:.1f}%)")
     return regressions
 
 

@@ -1,0 +1,47 @@
+"""Vectorized batched trial execution (numpy-backed, oracle-checked).
+
+This package holds the ``batched`` execution backend: many trials of one
+experiment cell run inside a single process with per-processor state laid
+out as numpy arrays over ``trials x processors``.  The per-trial engines
+in :mod:`repro.simulation` remain the semantic ground truth — every
+result produced here is required to be bit-identical to what
+:func:`repro.runner.spec.execute_trial` returns for the same spec, and
+:mod:`repro.verification.batched_diff` re-checks that on sampled subsets
+of real runs.
+
+Import surface:
+
+* :class:`~repro.batched.runner.BatchedRunner` — the backend front-end
+  (grouping, fallback, stats).
+* :mod:`~repro.batched.support` — capability gating
+  (:func:`~repro.batched.support.unsupported_reason`) and backend name
+  resolution (:func:`~repro.batched.support.resolve_backend`).
+* :class:`~repro.batched.engine.BatchedWindowEngine` — the vectorized
+  engine itself (import lazily; it requires numpy).
+
+``repro.batched.support`` imports without numpy installed; the engine
+does not, which is why the runner defers importing it until a batch is
+actually formed.
+"""
+
+from repro.batched.support import (
+    BACKEND_AUTO,
+    BACKEND_BATCHED,
+    BACKEND_TRIAL,
+    BACKENDS,
+    batch_signature,
+    numpy_ok,
+    resolve_backend,
+    unsupported_reason,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_AUTO",
+    "BACKEND_BATCHED",
+    "BACKEND_TRIAL",
+    "batch_signature",
+    "numpy_ok",
+    "resolve_backend",
+    "unsupported_reason",
+]

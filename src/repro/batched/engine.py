@@ -1,0 +1,1078 @@
+"""The vectorized window engine: many trials of one cell in one process.
+
+:class:`BatchedWindowEngine` executes a batch of same-shaped
+:class:`~repro.runner.spec.TrialSpec` objects (one protocol, one adversary
+class, one ``(n, t)``) with every piece of per-processor state laid out as
+numpy arrays over ``trials x processors``.  It is a *re-implementation* of
+the per-trial pipeline — :class:`~repro.simulation.windows.WindowEngine`,
+:class:`~repro.simulation.network.Network`,
+:class:`~repro.simulation.processor.Processor` and the protocol objects —
+under one hard contract: **bit identity**.  Every
+:class:`~repro.simulation.trace.ExecutionResult` field must equal what
+:func:`~repro.runner.spec.execute_trial` produces for the same spec, which
+the differential harness in :mod:`repro.verification.batched_diff` and the
+engine tests enforce continuously.
+
+Bit identity dictates the design:
+
+* **Randomness** comes from real ``random.Random`` replicas, derived
+  exactly as ``ProtocolFactory.build`` derives them (one master stream per
+  trial, one 64-bit spawn per processor in pid order).  Each stream feeds
+  nothing but its processor's coin flips, drawn on demand with one
+  ``getrandbits(1)`` call per flip — exactly how the per-trial protocols
+  advance the same streams.  Split-vote adversaries likewise hold
+  per-trial ``seeded_rng`` replicas and call ``Random.sample`` on the same
+  pid-ordered lists the oracle samples from.
+* **Channels** are fixed-depth LIFO rings per directed processor pair.
+  The per-trial network keeps unbounded per-channel deques but acceptable
+  windows only ever *pop the newest* message per channel, so a depth-
+  ``CHANNEL_DEPTH`` ring with absolute push positions is exact as long as
+  no pop reaches below the ring's high-water mark; a pop that would read
+  an overwritten slot **quarantines** the trial (see below).
+* **Vote bookkeeping** uses one ``uint64`` sender bitmask per (trial,
+  processor, round-slot, [phase]): insertion, duplicate-sender overwrite
+  and tally counts (``np.bitwise_count``) are all O(1) array ops.  Round
+  slots form a ring of ``RING_SLOTS`` future rounds; a message further
+  ahead than the ring covers also quarantines its trial.
+
+**Quarantine** is the batch's escape hatch: a trial whose execution
+leaves the vectorizable envelope (deep channel backlog, far-future
+round, crash budget overflow) is dropped from the batch *without a
+result* and reported back to :class:`~repro.batched.runner.BatchedRunner`,
+which re-runs it through the per-trial oracle.  Quarantine therefore
+affects speed, never values.
+
+The engine stops per trial exactly like ``WindowEngine.run``: the stop
+predicate (``stop_when``) is evaluated *before* each window, and a trial
+also stops once ``window_index`` reaches its ``max_windows``.  When the
+active fraction of the batch drops below half (common under the
+exponential window spreads of the E2 workload), the batch *compacts*,
+gathering all live state down to the surviving trials.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.batched.support import effective_thresholds, replay_windows
+from repro.determinism import seeded_rng
+from repro.runner.spec import TrialSpec
+from repro.simulation.trace import ExecutionResult
+
+RING_SLOTS = 8
+"""Future rounds buffered per processor before a trial quarantines."""
+
+CHANNEL_DEPTH = 8
+"""Messages retained per directed channel before old entries may evict."""
+
+_REPORT = 0
+_PROPOSE = 1
+
+# One channel message is packed into a single int64 —
+# [round:24][chain:24][value+1:2][tag:1] — so a push is one scatter and a
+# pop one gather instead of three of each.  support.py caps max_windows
+# far below the 24-bit field widths.
+_ROUND_SHIFT = 27
+_CHAIN_SHIFT = 3
+_CHAIN_MASK = 0xFFFFFF
+_VALUE_SHIFT = 1
+
+
+def _popcount(mask: np.ndarray) -> np.ndarray:
+    return np.bitwise_count(mask).astype(np.int64)
+
+
+class BatchedWindowEngine:
+    """Vectorized execution of one batch of same-signature trials.
+
+    Args:
+        specs: trial specs sharing one
+            :func:`~repro.batched.support.batch_signature`; every spec
+            must have passed
+            :func:`~repro.batched.support.unsupported_reason`.
+
+    Use :meth:`run`; it returns ``(results, quarantined)`` where
+    ``results`` holds one :class:`ExecutionResult` per input spec (``None``
+    at quarantined positions) and ``quarantined`` lists the indices that
+    need the per-trial oracle.
+    """
+
+    _COMPACT = ("orig", "active", "window", "max_windows", "inputs_arr",
+                "crashed", "pending", "output", "max_chain",
+                "deciding_chain", "first_decision", "sent", "delivered",
+                "resets_total", "crash_total", "coin_total", "ch_pack",
+                "ch_pos")
+
+    def __init__(self, specs: Sequence[TrialSpec]) -> None:
+        self.specs: List[TrialSpec] = list(specs)
+        if not self.specs:
+            raise ValueError("empty batch")
+        first = self.specs[0]
+        self.n = first.n
+        self.t = first.t
+        self.protocol_name = first.protocol
+        self.stop_first = first.stop_when == "first"
+        self.size = len(self.specs)
+        trials, n = self.size, self.n
+
+        self.orig = np.arange(trials, dtype=np.int64)
+        self.active = np.ones(trials, dtype=bool)
+        self.window = np.zeros(trials, dtype=np.int64)
+        self.max_windows = np.array([spec.max_windows for spec in self.specs],
+                                    dtype=np.int64)
+        self.inputs_arr = np.array([spec.inputs for spec in self.specs],
+                                   dtype=np.int8)
+        self.first_decision = np.full(trials, -1, dtype=np.int64)
+        self.sent = np.zeros(trials, dtype=np.int64)
+        self.delivered = np.zeros(trials, dtype=np.int64)
+        self.resets_total = np.zeros(trials, dtype=np.int64)
+        self.crash_total = np.zeros(trials, dtype=np.int64)
+        self.coin_total = np.zeros(trials, dtype=np.int64)
+
+        self.crashed = np.zeros((trials, n), dtype=bool)
+        self.pending = np.ones((trials, n), dtype=bool)
+        self.output = np.full((trials, n), -1, dtype=np.int8)
+        self.max_chain = np.zeros((trials, n), dtype=np.int32)
+        self.deciding_chain = np.full((trials, n), -1, dtype=np.int32)
+
+        self.ch_pack = np.zeros((trials, n, n, CHANNEL_DEPTH),
+                                dtype=np.int64)
+        # Per-channel cursor state, one int64 per (trial, receiver,
+        # sender): [high-water:32][top:32].  One gather/scatter moves both.
+        self.ch_pos = np.zeros((trials, n, n), dtype=np.int64)
+        self.has_tag = first.protocol == "ben-or"
+
+        # Per-(trial, processor) RNG replicas, derived exactly as
+        # ProtocolFactory.build derives them.  Each stream feeds nothing
+        # but that processor's coin flips, so drawing on demand keeps it
+        # bit-identical to the per-trial protocol object's stream.
+        self.rngs: List[List[random.Random]] = []
+        for spec in self.specs:
+            master = seeded_rng(spec.seed)
+            self.rngs.append([random.Random(master.getrandbits(64))
+                              for _ in range(n)])
+
+        self.results: List[Optional[ExecutionResult]] = [None] * trials
+        self.quarantined: List[int] = []
+
+        if first.protocol == "reset-tolerant":
+            self.kernel: Any = _ResetTolerantKernel(
+                self, effective_thresholds(first))
+        else:
+            self.kernel = _BenOrKernel(self)
+        self.fast_capable = first.protocol == "reset-tolerant"
+
+        adversary = first.adversary
+        if adversary == "benign":
+            self.driver: Any = _BenignDriver()
+        elif adversary == "silencing":
+            self.driver = _SilencingDriver(self)
+        elif adversary == "replay-schedule":
+            self.driver = _ReplayDriver(self)
+        else:
+            self.driver = _SplitVoteDriver(
+                self, adaptive=(adversary == "adaptive-resetting"))
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple[List[Optional[ExecutionResult]], List[int]]:
+        """Execute the batch; returns ``(results, quarantined_indices)``."""
+        while True:
+            self._finish_ready()
+            remaining = int(self.active.sum())
+            if remaining == 0:
+                break
+            if remaining * 2 <= self.active.shape[0]:
+                self._compact()
+            senders, deliver_last, resets, crashes = \
+                self.driver.next_window(self)
+            self._run_window(senders, deliver_last, resets, crashes)
+        return self.results, self.quarantined
+
+    def _finish_ready(self) -> None:
+        """Build results for trials whose stop predicate now holds.
+
+        Mirrors ``WindowEngine.run``: the stop check precedes each window,
+        and the window cap ends a trial regardless of decisions.
+        """
+        decided = self.output >= 0
+        if self.stop_first:
+            stopped = decided.any(axis=1)
+        else:
+            # "all": every live processor decided (vacuous when all crashed).
+            stopped = (decided | self.crashed).all(axis=1)
+        done = self.active & (stopped | (self.window >= self.max_windows))
+        if not done.any():
+            return
+        for index in np.flatnonzero(done):
+            i = int(index)
+            self.results[int(self.orig[i])] = self._build_result(i)
+        self.active &= ~done
+
+    def _build_result(self, i: int) -> ExecutionResult:
+        spec = self.specs[i]
+        outputs = tuple(None if bit < 0 else int(bit)
+                        for bit in self.output[i].tolist())
+        decided_values = {bit for bit in outputs if bit is not None}
+        chains = self.deciding_chain[i]
+        deciding = chains[chains >= 0]
+        first_decision = int(self.first_decision[i])
+        return ExecutionResult(
+            n=self.n,
+            t=self.t,
+            inputs=tuple(spec.inputs),
+            outputs=outputs,
+            crashed=tuple(int(pid) for pid
+                          in np.flatnonzero(self.crashed[i]).tolist()),
+            windows_elapsed=int(self.window[i]),
+            first_decision_window=(None if first_decision < 0
+                                   else first_decision),
+            message_chain_length=(int(deciding.min()) if deciding.size
+                                  else None),
+            messages_sent=int(self.sent[i]),
+            messages_delivered=int(self.delivered[i]),
+            total_resets=int(self.resets_total[i]),
+            total_coin_flips=int(self.coin_total[i]),
+            agreement_violated=len(decided_values) > 1,
+            validity_violated=(not decided_values <= set(spec.inputs)
+                               if decided_values else False),
+        )
+
+    def _quarantine(self, trial_mask: np.ndarray) -> None:
+        """Drop trials from the batch; the runner re-runs them per trial."""
+        fresh = trial_mask & self.active
+        if not fresh.any():
+            return
+        for index in np.flatnonzero(fresh):
+            self.quarantined.append(int(self.orig[int(index)]))
+        self.active &= ~fresh
+
+    def _quarantine_trials(self, trial_indices: np.ndarray) -> None:
+        """Quarantine by (possibly repeated) trial index."""
+        mask = np.zeros(self.active.shape, dtype=bool)
+        mask[trial_indices] = True
+        self._quarantine(mask)
+
+    def _compact(self) -> None:
+        """Gather all state down to the still-active trials."""
+        keep = np.flatnonzero(self.active)
+        if keep.size == self.active.shape[0]:
+            return
+        for name in self._COMPACT:
+            setattr(self, name, getattr(self, name)[keep])
+        keep_list = [int(i) for i in keep]
+        self.specs = [self.specs[i] for i in keep_list]
+        self.rngs = [self.rngs[i] for i in keep_list]
+        self.kernel.gather(keep)
+        self.driver.gather(keep)
+
+    # ------------------------------------------------------------------
+    # One acceptable window (mirrors WindowEngine.run_window phase order).
+    # ------------------------------------------------------------------
+    def _run_window(self, senders: Tuple[str, np.ndarray],
+                    deliver_last: Optional[np.ndarray],
+                    resets: Optional[np.ndarray],
+                    crashes: Optional[np.ndarray]) -> None:
+        if resets is None and crashes is None and self.fast_capable \
+                and self._fast_ready():
+            self._fast_rt_window(senders, deliver_last)
+            return
+        act = self.active.copy()
+        act_procs = np.broadcast_to(act[:, None], self.crashed.shape)
+
+        # Crashes land before any step of the window (replay only).
+        if crashes is not None and crashes.any():
+            fresh = crashes & ~self.crashed & act_procs
+            self.crashed |= fresh
+            self.crash_total += fresh.sum(axis=1, dtype=np.int64)
+            over = act & (self.crash_total > self.t)
+            if over.any():  # statically excluded; kept as a hard backstop
+                self._quarantine(over)
+                act = act & ~over
+                act_procs = np.broadcast_to(act[:, None], self.crashed.shape)
+
+        # Phase 1: every live processor takes its sending step.  The
+        # pending flag is consumed for all of them; only those whose
+        # protocol composes messages actually broadcast.
+        live = ~self.crashed & act_procs
+        sending = live & self.pending & self.kernel.sends_allowed()
+        self.pending &= ~live
+        if sending.any():
+            self.sent += sending.sum(axis=1, dtype=np.int64) * self.n
+            rounds, values, tags = self.kernel.compose()
+            self._push(sending, rounds, values, tags,
+                       (self.max_chain + 1).astype(np.int32))
+
+        # Phase 2: receiving steps.  Receivers are mutually independent
+        # within a window (all sends precede all deliveries), so a
+        # sender-major sweep in ascending pid order — non-deliver-last
+        # senders first — delivers in exactly the per-receiver order the
+        # oracle uses (sorted senders, deliver_last stably last).
+        dl_any = deliver_last is not None and bool(deliver_last.any())
+        receiving = ~self.crashed & act_procs
+        passes = (False, True) if dl_any else (False,)
+        for last_pass in passes:
+            for sender in range(self.n):
+                mode, mask = senders
+                if mode == "uniform":
+                    base = receiving & mask[:, sender, None]
+                else:
+                    base = receiving & mask[:, :, sender]
+                if dl_any:
+                    gate = deliver_last[:, sender]
+                    base = base & (gate if last_pass else ~gate)[:, None]
+                if base.any():
+                    self._deliver(sender, base)
+
+        # Phase 3: resets, in any order (each touches only its own state).
+        if resets is not None:
+            to_reset = resets & ~self.crashed & act_procs
+            if to_reset.any():
+                self.resets_total += to_reset.sum(axis=1, dtype=np.int64)
+                self.pending |= to_reset
+                self.kernel.reset(to_reset)
+
+        self.window += act
+        newly = act & (self.first_decision < 0) & (self.output >= 0).any(axis=1)
+        if newly.any():
+            self.first_decision[newly] = self.window[newly]
+
+    # ------------------------------------------------------------------
+    # Synchronized fast path (reset-tolerant kernel only).
+    #
+    # In the steady state of the benign, silencing and split-vote
+    # workloads every live processor sits at the same round with an empty
+    # vote ring and a pending receive flag.  A whole window then has a
+    # closed form: every delivery is a current-round vote, a receiver
+    # fires exactly when its T1-th vote (in delivery order) arrives, the
+    # fired tally is precisely the first T1 votes — later ones land with
+    # ``offset < 0`` and are skipped — and the advanced slot 0 is empty,
+    # so no cascade follows.  That removes the sequential per-sender
+    # sweep: one vectorized pass over (trial, receiver, sender) replaces
+    # ``2n`` sparse deliver/insert calls, bit-identically.
+    # ------------------------------------------------------------------
+    def _fast_ready(self) -> bool:
+        """Whether every active trial is in the synchronized state."""
+        act_procs = self.active[:, None]
+        kernel = self.kernel
+        if (self.crashed & act_procs).any():
+            return False
+        if (kernel.resync & act_procs).any():
+            return False
+        if (~self.pending & act_procs).any():
+            return False
+        if ((kernel.est < 0) & act_procs).any():
+            return False
+        if ((kernel.round != kernel.round[:, :1]) & act_procs).any():
+            return False
+        return not (kernel.vmask.any(axis=2) & act_procs).any()
+
+    def _fast_rt_window(self, senders: Tuple[str, np.ndarray],
+                        deliver_last: Optional[np.ndarray]) -> None:
+        kernel = self.kernel
+        n = self.n
+        t1, t2, t3 = kernel.t1, kernel.t2, kernel.t3
+        act = self.active
+        act_procs = act[:, None]
+
+        # Phase 1: every live processor broadcasts (round, est, chain+1).
+        self.pending &= ~act_procs
+        self.sent += act * (n * n)
+        est_sent = kernel.est
+        chain_sent = (self.max_chain + 1).astype(np.int32)
+        packed = (kernel.round.astype(np.int64) << _ROUND_SHIFT) \
+            | (chain_sent.astype(np.int64) << _CHAIN_SHIFT) \
+            | ((est_sent.astype(np.int64) + 1) << _VALUE_SHIFT)
+        send3 = act_procs[:, None, :]
+        pos = self.ch_pos
+        top = pos & 0xFFFFFFFF
+        slot = (top % CHANNEL_DEPTH)[..., None]
+        current = np.take_along_axis(self.ch_pack, slot, axis=3)
+        np.put_along_axis(
+            self.ch_pack, slot,
+            np.where(send3[..., None],
+                     np.broadcast_to(packed[:, None, :, None], current.shape),
+                     current),
+            axis=3)
+        new_top = top + 1
+        np.copyto(self.ch_pos,
+                  (np.maximum(pos >> 32, new_top) << 32) | new_top,
+                  where=send3)
+
+        # Phase 2: pop this window's vote on every permitted channel.
+        mode, mask = senders
+        act3 = act[:, None, None]
+        if mode == "uniform":
+            deliv = np.empty((act.shape[0], n, n), dtype=bool)
+            np.copyto(deliv, act3 & mask[:, None, :])
+        else:
+            deliv = act3 & mask
+        self.ch_pos -= deliv
+        got = deliv.sum(axis=2)
+        self.delivered += got.sum(axis=1)
+        self.pending |= got > 0
+
+        # Delivery order: non-deliver-last senders ascending, then the
+        # deliver-last ones ascending (the oracle's per-receiver order).
+        if deliver_last is not None:
+            perm = np.argsort(deliver_last, axis=1, kind="stable")
+            deliv_o = np.take_along_axis(deliv, perm[:, None, :], axis=2)
+            val_o = np.take_along_axis(est_sent, perm, axis=1)[:, None, :]
+            chain_o = np.take_along_axis(chain_sent, perm,
+                                         axis=1)[:, None, :]
+        else:
+            deliv_o = deliv
+            val_o = est_sent[:, None, :]
+            chain_o = chain_sent[:, None, :]
+
+        # The first T1 votes in delivery order are the fired tally.
+        selected = deliv_o & (np.cumsum(deliv_o, axis=2) <= t1)
+        count = np.minimum(got, t1)
+        ones = (selected & (val_o == 1)).sum(axis=2)
+        zeros = count - ones
+
+        # Chain bookkeeping: the deciding chain sees only the first T1
+        # deliveries (recorded at fire time); max_chain sees them all.
+        pre_chain = self.max_chain
+        sel_chain = np.where(selected, chain_o, 0).max(axis=2)
+        all_chain = np.where(deliv_o, chain_o, 0).max(axis=2)
+        self.max_chain = np.maximum(pre_chain, all_chain)
+        decide_chain = np.maximum(pre_chain, sel_chain)
+
+        # Fire: majority/decide/estimate, exactly _finish_round.
+        fire = act_procs & (got >= t1)
+        majority_zero = zeros >= ones
+        majority_value = np.where(majority_zero, 0, 1).astype(np.int8)
+        majority_count = np.where(majority_zero, zeros, ones)
+        deciding = fire & (majority_count >= t2) & (self.output < 0)
+        if deciding.any():
+            self.output = np.where(deciding, majority_value, self.output)
+            self.deciding_chain = np.where(deciding, decide_chain,
+                                           self.deciding_chain)
+        new_est = np.where(fire, majority_value, est_sent)
+        flipping = fire & (majority_count < t3)
+        if flipping.any():
+            ft, fp = np.nonzero(flipping)
+            new_est[ft, fp] = self._draw_coins(ft, fp)
+        # Sub-T1 tallies buffer in slot 0 (ring was empty, so writing
+        # zeros elsewhere is a no-op); fired rings stay empty.
+        tally = act_procs & ~fire & (got > 0)
+        if tally.any():
+            weights = np.uint64(1) << np.arange(n, dtype=np.uint64)
+            vm = (deliv * weights).sum(axis=2, dtype=np.uint64)
+            vo = ((deliv & (est_sent == 1)[:, None, :])
+                  * weights).sum(axis=2, dtype=np.uint64)
+            sl0 = kernel.slot_base[..., None]
+            np.put_along_axis(kernel.vmask, sl0,
+                              np.where(tally, vm, 0)[..., None], axis=2)
+            np.put_along_axis(kernel.vones, sl0,
+                              np.where(tally, vo, 0)[..., None], axis=2)
+        kernel.est = new_est
+        kernel.round = kernel.round + fire
+        kernel.base_round = kernel.base_round + fire
+        kernel.slot_base = ((kernel.slot_base + fire)
+                            % RING_SLOTS).astype(np.int32)
+
+        self.window += act
+        newly = act & (self.first_decision < 0) \
+            & (self.output >= 0).any(axis=1)
+        if newly.any():
+            self.first_decision[newly] = self.window[newly]
+
+    def _push(self, sending: np.ndarray, rounds: np.ndarray,
+              values: np.ndarray, tags: Optional[np.ndarray],
+              chains: np.ndarray) -> None:
+        """Broadcast each sender's message onto all n channel rings."""
+        tt, ss = np.nonzero(sending)
+        if not tt.size:
+            return
+        tcol = tt[:, None]
+        scol = ss[:, None]
+        rrow = np.arange(self.n)[None, :]
+        pos = self.ch_pos[tcol, rrow, scol]
+        top = pos & 0xFFFFFFFF
+        slot = top % CHANNEL_DEPTH
+        packed = (rounds[tt, ss].astype(np.int64) << _ROUND_SHIFT) \
+            | (chains[tt, ss].astype(np.int64) << _CHAIN_SHIFT) \
+            | ((values[tt, ss].astype(np.int64) + 1) << _VALUE_SHIFT)
+        if tags is not None:
+            packed |= tags[tt, ss].astype(np.int64)
+        self.ch_pack[tcol, rrow, scol, slot] = packed[:, None]
+        new_top = top + 1
+        self.ch_pos[tcol, rrow, scol] = \
+            np.maximum(pos >> 32, new_top) << 32 | new_top
+
+    def _deliver(self, sender: int, receivers: np.ndarray) -> None:
+        """Pop the newest channel message from ``sender`` per receiver."""
+        pos = self.ch_pos[:, :, sender]
+        has = receivers & ((pos & 0xFFFFFFFF) > 0)
+        if not has.any():
+            return
+        tt, rr = np.nonzero(has)
+        pos = pos[tt, rr]
+        position = (pos & 0xFFFFFFFF) - 1
+        evicted = position < (pos >> 32) - CHANNEL_DEPTH
+        if evicted.any():
+            # The ring no longer holds this message; the per-trial oracle
+            # (with its unbounded deques) must run this trial instead.
+            self._quarantine_trials(tt[evicted])
+        slot = position % CHANNEL_DEPTH
+        packed = self.ch_pack[tt, rr, sender, slot]
+        msg_round = (packed >> _ROUND_SHIFT).astype(np.int32)
+        msg_chain = ((packed >> _CHAIN_SHIFT) & _CHAIN_MASK) \
+            .astype(np.int32)
+        msg_value = (((packed >> _VALUE_SHIFT) & 3) - 1).astype(np.int8)
+        msg_tag = (packed & 1).astype(np.int8) if self.has_tag else None
+        self.ch_pos[tt, rr, sender] = (pos & ~np.int64(0xFFFFFFFF)) | position
+        self.delivered += has.sum(axis=1, dtype=np.int64)
+        self.pending |= has
+        chain_max = self.max_chain[tt, rr]
+        growing = msg_chain > chain_max
+        if growing.any():
+            self.max_chain[tt[growing], rr[growing]] = msg_chain[growing]
+        self.kernel.insert(sender, tt, rr, msg_round, msg_value, msg_tag)
+
+    def _draw_coins(self, tt: np.ndarray, pp: np.ndarray) -> np.ndarray:
+        """One coin flip per (trial, processor) pair, drawn on demand.
+
+        Each per-(trial, processor) stream feeds nothing but that
+        processor's coin flips, so a direct ``getrandbits(1)`` here
+        advances it exactly as the per-trial protocol object would.
+        """
+        rngs = self.rngs
+        flips = np.array([rngs[trial][pid].getrandbits(1)
+                          for trial, pid in zip(tt.tolist(), pp.tolist())],
+                         dtype=np.int8)
+        np.add.at(self.coin_total, tt, 1)
+        return flips
+
+
+# ----------------------------------------------------------------------
+# Protocol kernels.
+# ----------------------------------------------------------------------
+class _ResetTolerantKernel:
+    """Vectorized ``ResetTolerantAgreement`` state machine.
+
+    Vote tallies live in a ring of ``RING_SLOTS`` round slots per
+    processor; slot ``(slot_base + (r - base_round)) % RING_SLOTS`` holds
+    round ``r``'s sender bitmask.  For a synchronised processor
+    ``base_round == round`` and slot 0 is the current round.  A *resyncing*
+    processor (post-reset) anchors the ring two rounds below its first
+    buffered vote and, on adoption (``t1`` votes for one round), rebases
+    the ring to the adopted round — buffered future votes survive, votes
+    for dropped lower rounds are discarded exactly as the oracle never
+    revisits them.
+    """
+
+    _FIELDS = ("round", "est", "resync", "base_set", "base_round",
+               "slot_base", "vmask", "vones")
+
+    def __init__(self, eng: BatchedWindowEngine, thresholds) -> None:
+        self.eng = eng
+        self.t1 = thresholds.t1
+        self.t2 = thresholds.t2
+        self.t3 = thresholds.t3
+        trials, n = eng.size, eng.n
+        self.round = np.ones((trials, n), dtype=np.int32)
+        self.est = eng.inputs_arr.copy()
+        self.resync = np.zeros((trials, n), dtype=bool)
+        self.base_set = np.zeros((trials, n), dtype=bool)
+        self.base_round = np.ones((trials, n), dtype=np.int32)
+        self.slot_base = np.zeros((trials, n), dtype=np.int32)
+        self.vmask = np.zeros((trials, n, RING_SLOTS), dtype=np.uint64)
+        self.vones = np.zeros((trials, n, RING_SLOTS), dtype=np.uint64)
+
+    def gather(self, keep: np.ndarray) -> None:
+        for name in self._FIELDS:
+            setattr(self, name, getattr(self, name)[keep])
+
+    # -- sending ---------------------------------------------------------
+    def sends_allowed(self) -> np.ndarray:
+        return ~self.resync & (self.round >= 0) & (self.est >= 0)
+
+    def compose(self) -> Tuple[np.ndarray, np.ndarray, None]:
+        return self.round, self.est, None
+
+    # -- adversary views -------------------------------------------------
+    def adversary_estimate(self) -> np.ndarray:
+        return self.est
+
+    def will_send(self) -> np.ndarray:
+        return ~self.resync & (self.round >= 0)
+
+    def waiting(self) -> int:
+        return self.t1
+
+    def default_block_threshold(self) -> np.ndarray:
+        return np.full(self.round.shape[0], self.t3, dtype=np.int64)
+
+    # -- receiving -------------------------------------------------------
+    def insert(self, sender: int, tt: np.ndarray, pp: np.ndarray,
+               msg_round: np.ndarray, msg_value: np.ndarray,
+               msg_tag: Optional[np.ndarray]) -> None:
+        bit = np.uint64(1) << np.uint64(sender)
+        current = self.round[tt, pp]
+        resync = self.resync[tt, pp]
+        any_resync = bool(resync.any())
+        if any_resync:
+            first = resync & ~self.base_set[tt, pp]
+            base = self.base_round[tt, pp]
+            if first.any():
+                base = np.where(first, msg_round - 2, base)
+                self.base_round[tt[first], pp[first]] = base[first]
+                self.base_set[tt[first], pp[first]] = True
+            offset = np.where(resync, msg_round - base, msg_round - current)
+            # Normal-mode past rounds are a silent skip; a resyncing
+            # processor buffers *every* round, so one below the anchor
+            # (or beyond the ring, in either mode) leaves the envelope.
+            bad = (offset >= RING_SLOTS) | (resync & (offset < 0))
+        else:
+            offset = msg_round - current
+            bad = offset >= RING_SLOTS
+        if bad.any():
+            self.eng._quarantine_trials(tt[bad])
+        keep = (offset >= 0) & (offset < RING_SLOTS)
+        if keep.all():
+            value = msg_value
+        else:
+            if not keep.any():
+                return
+            tt, pp = tt[keep], pp[keep]
+            offset = offset[keep]
+            value = msg_value[keep]
+            msg_round = msg_round[keep]
+            resync = resync[keep]
+        sl = (self.slot_base[tt, pp] + offset) % RING_SLOTS
+        mask0 = self.vmask[tt, pp, sl] | bit
+        self.vmask[tt, pp, sl] = mask0
+        ones0 = self.vones[tt, pp, sl]
+        self.vones[tt, pp, sl] = np.where(value == 1, ones0 | bit,
+                                          ones0 & ~bit)
+        quorum = _popcount(mask0) >= self.t1
+        if not quorum.any():
+            return
+        if not any_resync:
+            firing = quorum & (offset == 0)
+            if firing.any():
+                self._finish_cascade(tt[firing], pp[firing])
+            return
+        fire_now = quorum & ~resync & (offset == 0)
+        adopt = quorum & resync
+        if adopt.any():
+            at, ap = tt[adopt], pp[adopt]
+            adopted_offset = offset[adopt]
+            adopted_round = msg_round[adopt]
+            old_base = self.slot_base[at, ap]
+            # Discard slots for the rounds below the adopted one: the
+            # oracle leaves those votes unread forever.
+            for k in range(RING_SLOTS):
+                drop = adopted_offset > k
+                if not drop.any():
+                    break
+                self.vmask[at[drop], ap[drop],
+                           (old_base[drop] + k) % RING_SLOTS] = np.uint64(0)
+                self.vones[at[drop], ap[drop],
+                           (old_base[drop] + k) % RING_SLOTS] = np.uint64(0)
+            self.slot_base[at, ap] = \
+                ((old_base + adopted_offset) % RING_SLOTS).astype(np.int32)
+            self.round[at, ap] = adopted_round
+            self.base_round[at, ap] = adopted_round
+            self.resync[at, ap] = False
+            self.base_set[at, ap] = False
+            self.est[at, ap] = -1  # _finish_round assigns it next
+        firing = fire_now | adopt
+        if firing.any():
+            self._finish_cascade(tt[firing], pp[firing])
+
+    def _finish_cascade(self, tt: np.ndarray, pp: np.ndarray) -> None:
+        """``_finish_round`` plus its buffered-round cascade, vectorized."""
+        eng = self.eng
+        while tt.size:
+            sl0 = self.slot_base[tt, pp]
+            count = _popcount(self.vmask[tt, pp, sl0])
+            go = count >= self.t1
+            if not go.any():
+                return
+            tt, pp = tt[go], pp[go]
+            sl0, count = sl0[go], count[go]
+            ones = _popcount(self.vones[tt, pp, sl0])
+            zeros = count - ones
+            majority_zero = zeros >= ones
+            majority_value = np.where(majority_zero, 0, 1).astype(np.int8)
+            majority_count = np.where(majority_zero, zeros, ones)
+            deciding = (majority_count >= self.t2) & (eng.output[tt, pp] < 0)
+            if deciding.any():
+                dt, dp = tt[deciding], pp[deciding]
+                eng.output[dt, dp] = majority_value[deciding]
+                eng.deciding_chain[dt, dp] = eng.max_chain[dt, dp]
+            adopting = majority_count >= self.t3
+            estimate = majority_value.copy()
+            flipping = ~adopting
+            if flipping.any():
+                estimate[flipping] = eng._draw_coins(tt[flipping],
+                                                     pp[flipping])
+            self.est[tt, pp] = estimate
+            self.vmask[tt, pp, sl0] = np.uint64(0)
+            self.vones[tt, pp, sl0] = np.uint64(0)
+            self.slot_base[tt, pp] = ((sl0 + 1) % RING_SLOTS).astype(np.int32)
+            self.round[tt, pp] += 1
+            self.base_round[tt, pp] += 1
+            # Loop: the advanced slot 0 may already hold >= t1 buffered
+            # votes (the oracle's recursive cascade).
+
+    def reset(self, resetting: np.ndarray) -> None:
+        self.round[resetting] = -1
+        self.est[resetting] = -1
+        self.resync[resetting] = True
+        self.base_set[resetting] = False
+        self.base_round[resetting] = 0
+        self.slot_base[resetting] = 0
+        self.vmask[resetting] = np.uint64(0)
+        self.vones[resetting] = np.uint64(0)
+
+
+class _BenOrKernel:
+    """Vectorized ``BenOrAgreement`` state machine.
+
+    Same ring layout as the reset-tolerant kernel with an extra phase
+    axis: slot ``(slot_base + (r - round)) % RING_SLOTS`` holds round
+    ``r``'s report (tag 0) and proposal (tag 1) bitmasks.  The report
+    slot survives the report->propose transition (late reports for the
+    current round are rejected by the skip rule, exactly like the
+    oracle's processed-key set); both planes clear when the round
+    advances.
+    """
+
+    _FIELDS = ("round", "phase", "est", "prop", "slot_base", "bmask",
+               "bones", "bnone")
+
+    def __init__(self, eng: BatchedWindowEngine) -> None:
+        self.eng = eng
+        self.quorum = eng.n - eng.t
+        trials, n = eng.size, eng.n
+        self.round = np.ones((trials, n), dtype=np.int32)
+        self.phase = np.zeros((trials, n), dtype=np.int8)
+        self.est = eng.inputs_arr.copy()
+        self.prop = np.full((trials, n), -1, dtype=np.int8)
+        self.slot_base = np.zeros((trials, n), dtype=np.int32)
+        self.bmask = np.zeros((trials, n, RING_SLOTS, 2), dtype=np.uint64)
+        self.bones = np.zeros((trials, n, RING_SLOTS, 2), dtype=np.uint64)
+        self.bnone = np.zeros((trials, n, RING_SLOTS, 2), dtype=np.uint64)
+
+    def gather(self, keep: np.ndarray) -> None:
+        for name in self._FIELDS:
+            setattr(self, name, getattr(self, name)[keep])
+
+    # -- sending ---------------------------------------------------------
+    def sends_allowed(self) -> np.ndarray:
+        return np.ones(self.round.shape, dtype=bool)
+
+    def compose(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        values = np.where(self.phase == _REPORT, self.est, self.prop)
+        return self.round, values.astype(np.int8), self.phase
+
+    # -- adversary views -------------------------------------------------
+    def adversary_estimate(self) -> np.ndarray:
+        return np.where(self.phase == _REPORT, self.est, self.prop)
+
+    def will_send(self) -> np.ndarray:
+        return np.ones(self.round.shape, dtype=bool)
+
+    def waiting(self) -> int:
+        return self.quorum
+
+    def default_block_threshold(self) -> np.ndarray:
+        # _default_block_threshold inspects processor 0's phase.
+        return np.where(self.phase[:, 0] == _REPORT,
+                        self.eng.n // 2 + 1, 1).astype(np.int64)
+
+    # -- receiving -------------------------------------------------------
+    def insert(self, sender: int, tt: np.ndarray, pp: np.ndarray,
+               msg_round: np.ndarray, msg_value: np.ndarray,
+               msg_tag: Optional[np.ndarray]) -> None:
+        bit = np.uint64(1) << np.uint64(sender)
+        offset = msg_round - self.round[tt, pp]
+        # Skip: past rounds, and current-round reports once the processor
+        # already moved to its proposal phase (the oracle's processed set).
+        skip = (offset < 0) | ((offset == 0) & (msg_tag == _REPORT)
+                               & (self.phase[tt, pp] == _PROPOSE))
+        overflow = offset >= RING_SLOTS
+        if overflow.any():
+            self.eng._quarantine_trials(tt[overflow])
+        keep = ~skip & ~overflow
+        if keep.all():
+            value = msg_value
+            tg = msg_tag.astype(np.int64)
+        else:
+            if not keep.any():
+                return
+            tt, pp = tt[keep], pp[keep]
+            offset = offset[keep]
+            value = msg_value[keep]
+            tg = msg_tag[keep].astype(np.int64)
+        sl = (self.slot_base[tt, pp] + offset) % RING_SLOTS
+        mask0 = self.bmask[tt, pp, sl, tg]
+        self.bmask[tt, pp, sl, tg] = mask0 | bit
+        ones0 = self.bones[tt, pp, sl, tg]
+        self.bones[tt, pp, sl, tg] = np.where(value == 1, ones0 | bit,
+                                              ones0 & ~bit)
+        none0 = self.bnone[tt, pp, sl, tg]
+        self.bnone[tt, pp, sl, tg] = np.where(value == -1, none0 | bit,
+                                              none0 & ~bit)
+        self._advance_cascade(tt, pp)
+
+    def _advance_cascade(self, tt: np.ndarray, pp: np.ndarray) -> None:
+        """The oracle's ``_maybe_advance`` while-loop, vectorized."""
+        eng = self.eng
+        n = eng.n
+        while tt.size:
+            sl0 = self.slot_base[tt, pp]
+            ph = self.phase[tt, pp].astype(np.int64)
+            count = _popcount(self.bmask[tt, pp, sl0, ph])
+            go = count >= self.quorum
+            if not go.any():
+                return
+            tt, pp = tt[go], pp[go]
+            sl0, ph = sl0[go], ph[go]
+            finishing_report = ph == _REPORT
+            if finishing_report.any():
+                rt = tt[finishing_report]
+                rp = pp[finishing_report]
+                rs = sl0[finishing_report]
+                ones = _popcount(self.bones[rt, rp, rs, _REPORT])
+                zeros = _popcount(self.bmask[rt, rp, rs, _REPORT]) - ones
+                proposal = np.where(
+                    2 * ones > n, 1,
+                    np.where(2 * zeros > n, 0, -1)).astype(np.int8)
+                self.prop[rt, rp] = proposal
+                self.phase[rt, rp] = _PROPOSE
+            finishing_proposal = ~finishing_report
+            if finishing_proposal.any():
+                qt = tt[finishing_proposal]
+                qp = pp[finishing_proposal]
+                qs = sl0[finishing_proposal]
+                ones = _popcount(self.bones[qt, qp, qs, _PROPOSE])
+                nones = _popcount(self.bnone[qt, qp, qs, _PROPOSE])
+                zeros = _popcount(self.bmask[qt, qp, qs, _PROPOSE]) \
+                    - ones - nones
+                # Strictly-greater scan over (0, 1): ties favour 0.
+                strongest = np.where(
+                    ones > zeros, 1,
+                    np.where(zeros > 0, 0, -1)).astype(np.int8)
+                strongest_count = np.where(ones > zeros, ones, zeros)
+                deciding = ((strongest >= 0)
+                            & (strongest_count >= eng.t + 1)
+                            & (eng.output[qt, qp] < 0))
+                if deciding.any():
+                    dt, dp = qt[deciding], qp[deciding]
+                    eng.output[dt, dp] = strongest[deciding]
+                    eng.deciding_chain[dt, dp] = eng.max_chain[dt, dp]
+                estimate = strongest.copy()
+                flipping = strongest < 0
+                if flipping.any():
+                    estimate[flipping] = eng._draw_coins(qt[flipping],
+                                                         qp[flipping])
+                self.est[qt, qp] = estimate
+                self.bmask[qt, qp, qs] = np.uint64(0)
+                self.bones[qt, qp, qs] = np.uint64(0)
+                self.bnone[qt, qp, qs] = np.uint64(0)
+                self.slot_base[qt, qp] = \
+                    ((qs + 1) % RING_SLOTS).astype(np.int32)
+                self.round[qt, qp] += 1
+                self.phase[qt, qp] = _REPORT
+            # Loop: report finishers now check their proposal plane,
+            # round finishers the next round's report plane.
+
+    def reset(self, resetting: np.ndarray) -> None:
+        # Full restart (unreachable under the supported adversary set —
+        # support.py declines ben-or specs whose schedules reset).
+        self.round[resetting] = 1
+        self.phase[resetting] = _REPORT
+        self.est = np.where(resetting, self.eng.inputs_arr, self.est)
+        self.prop[resetting] = -1
+        self.slot_base[resetting] = 0
+        self.bmask[resetting] = np.uint64(0)
+        self.bones[resetting] = np.uint64(0)
+        self.bnone[resetting] = np.uint64(0)
+
+
+# ----------------------------------------------------------------------
+# Adversary drivers.
+# ----------------------------------------------------------------------
+class _BenignDriver:
+    """Full delivery, no faults."""
+
+    def next_window(self, eng: BatchedWindowEngine):
+        return ("uniform", np.ones(eng.crashed.shape, dtype=bool)), \
+            None, None, None
+
+    def gather(self, keep: np.ndarray) -> None:
+        pass
+
+
+class _SilencingDriver:
+    """Constant sender exclusion (``silenced`` defaults to ``range(t)``)."""
+
+    def __init__(self, eng: BatchedWindowEngine) -> None:
+        self.smask = np.ones(eng.crashed.shape, dtype=bool)
+        for i, spec in enumerate(eng.specs):
+            silenced = spec.adversary_kwargs.get("silenced")
+            if silenced is None:
+                silenced = range(eng.t)
+            for pid in silenced:
+                if 0 <= pid < eng.n:
+                    self.smask[i, pid] = False
+
+    def next_window(self, eng: BatchedWindowEngine):
+        return ("uniform", self.smask), None, None, None
+
+    def gather(self, keep: np.ndarray) -> None:
+        self.smask = self.smask[keep]
+
+
+class _ReplayDriver:
+    """Per-trial fixed schedules with benign/repeat padding.
+
+    All active trials share one window index (a trial leaves the batch
+    forever when it stops), so a single position counter replays every
+    schedule in lock-step, exactly like per-trial
+    ``ReplayScheduleAdversary`` instances would.
+    """
+
+    def __init__(self, eng: BatchedWindowEngine) -> None:
+        n = eng.n
+        self.pads: List[str] = []
+        self.schedules: List[List[Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                        np.ndarray]]] = []
+        for spec in eng.specs:
+            self.pads.append(spec.adversary_kwargs.get("pad", "benign"))
+            compiled = []
+            for window in replay_windows(spec):
+                senders = np.zeros((n, n), dtype=bool)
+                for receiver, allowed in enumerate(window.senders_for):
+                    senders[receiver, list(allowed)] = True
+                resets = np.zeros(n, dtype=bool)
+                resets[list(window.resets)] = True
+                crashes = np.zeros(n, dtype=bool)
+                crashes[list(window.crashes)] = True
+                deliver_last = np.zeros(n, dtype=bool)
+                deliver_last[list(window.deliver_last)] = True
+                compiled.append((senders, resets, crashes, deliver_last))
+            self.schedules.append(compiled)
+        self._position = 0
+
+    def next_window(self, eng: BatchedWindowEngine):
+        position = self._position
+        self._position += 1
+        trials, n = eng.crashed.shape
+        senders = np.ones((trials, n, n), dtype=bool)
+        resets = np.zeros((trials, n), dtype=bool)
+        crashes = np.zeros((trials, n), dtype=bool)
+        deliver_last = np.zeros((trials, n), dtype=bool)
+        for i in np.flatnonzero(eng.active):
+            schedule = self.schedules[int(i)]
+            if position < len(schedule):
+                window = schedule[position]
+            elif self.pads[int(i)] == "repeat" and schedule:
+                window = schedule[-1]
+            else:
+                continue  # benign padding: defaults already full delivery
+            senders[i], resets[i], crashes[i], deliver_last[i] = window
+        return (("per_receiver", senders),
+                deliver_last if deliver_last.any() else None,
+                resets if resets.any() else None,
+                crashes if crashes.any() else None)
+
+    def gather(self, keep: np.ndarray) -> None:
+        keep_list = [int(i) for i in keep]
+        self.pads = [self.pads[i] for i in keep_list]
+        self.schedules = [self.schedules[i] for i in keep_list]
+
+
+class _SplitVoteDriver:
+    """Vectorized split-vote (and adaptive-resetting) adversary.
+
+    The ordering-block and lost-control paths are pure array math; only
+    the exclusion path consumes adversary randomness, and there the
+    driver calls the *real* per-trial ``Random.sample`` on the same
+    pid-ordered voter lists the oracle builds, so the streams stay
+    bit-identical.
+    """
+
+    def __init__(self, eng: BatchedWindowEngine, adaptive: bool) -> None:
+        self.adaptive = adaptive
+        self.rngs = [seeded_rng(spec.adversary_kwargs["seed"])
+                     for spec in eng.specs]
+        self.block_threshold = np.array(
+            [-1 if spec.adversary_kwargs.get("block_threshold") is None
+             else spec.adversary_kwargs["block_threshold"]
+             for spec in eng.specs], dtype=np.int64)
+        self.budget = None
+        if adaptive:
+            self.budget = np.array(
+                [int(eng.t * spec.adversary_kwargs.get("reset_fraction", 1.0))
+                 for spec in eng.specs], dtype=np.int64)
+
+    def next_window(self, eng: BatchedWindowEngine):
+        kernel = eng.kernel
+        estimate = kernel.adversary_estimate()
+        live = ~eng.crashed
+        zeros_mask = live & (estimate == 0)
+        ones_mask = live & (estimate == 1)
+        num_zeros = zeros_mask.sum(axis=1, dtype=np.int64)
+        num_ones = ones_mask.sum(axis=1, dtype=np.int64)
+        threshold = np.where(self.block_threshold >= 0, self.block_threshold,
+                             kernel.default_block_threshold())
+        waiting = kernel.waiting()
+        senders_total = (live & kernel.will_send()).sum(axis=1,
+                                                        dtype=np.int64)
+        majority_is_zero = num_zeros >= num_ones
+        majority_count = np.where(majority_is_zero, num_zeros, num_ones)
+        minority_count = num_zeros + num_ones - majority_count
+        majority_pool = np.where(majority_is_zero[:, None], zeros_mask,
+                                 ones_mask)
+        majority_in_prefix = np.maximum(
+            0, waiting - (senders_total - majority_count))
+        minority_in_prefix = np.minimum(minority_count, waiting)
+        blocked = (majority_in_prefix <= threshold - 1) \
+            & (minority_in_prefix <= threshold - 1)
+
+        smask = np.ones(estimate.shape, dtype=bool)
+        deliver_last = np.zeros(estimate.shape, dtype=bool)
+        deliver_last[blocked] = majority_pool[blocked]
+
+        need_hide_zero = np.maximum(0, num_zeros - (threshold - 1))
+        need_hide_one = np.maximum(0, num_ones - (threshold - 1))
+        feasible = need_hide_zero + need_hide_one <= eng.t
+        # Infeasible (~blocked & ~feasible) is the lost-control window:
+        # full delivery, and — exactly like the oracle — no RNG consumed.
+        excluding = ~blocked & feasible & eng.active
+        for index in np.flatnonzero(excluding):
+            i = int(index)
+            rng = self.rngs[i]
+            hidden = (rng.sample(np.flatnonzero(zeros_mask[i]).tolist(),
+                                 int(need_hide_zero[i]))
+                      + rng.sample(np.flatnonzero(ones_mask[i]).tolist(),
+                                   int(need_hide_one[i])))
+            smask[i, hidden] = False
+
+        resets = None
+        if self.adaptive:
+            in_pool_rank = np.cumsum(majority_pool, axis=1)
+            resets = majority_pool & (in_pool_rank <= self.budget[:, None])
+        return ("uniform", smask), \
+            (deliver_last if deliver_last.any() else None), resets, None
+
+    def gather(self, keep: np.ndarray) -> None:
+        keep_list = [int(i) for i in keep]
+        self.rngs = [self.rngs[i] for i in keep_list]
+        self.block_threshold = self.block_threshold[keep]
+        if self.budget is not None:
+            self.budget = self.budget[keep]
+
+
+__all__ = ["BatchedWindowEngine", "RING_SLOTS", "CHANNEL_DEPTH"]

@@ -1,0 +1,127 @@
+"""The ``batched`` execution backend: group, vectorize, fall back.
+
+:class:`BatchedRunner` wraps any per-trial runner (``ParallelRunner`` or
+``SupervisedRunner``) and routes each submitted
+:class:`~repro.runner.spec.TrialSpec` through exactly one of two paths:
+
+* specs :func:`~repro.batched.support.unsupported_reason` accepts are
+  grouped by :func:`~repro.batched.support.batch_signature` and executed
+  on one :class:`~repro.batched.engine.BatchedWindowEngine` per group;
+* everything else — unsupported specs, singleton groups not worth the
+  array setup, trials the engine quarantined mid-run, and whole groups
+  whose engine raised — flows through the wrapped per-trial runner, the
+  bit-identity oracle.
+
+Results come back in submission order regardless of path, so callers
+(the experiment grid, fuzz/search campaigns, the results store) cannot
+observe which path ran a trial except through :attr:`BatchedRunner.stats`
+— and, by the bit-identity contract, through nothing else.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.batched.support import batch_signature, unsupported_reason
+from repro.runner.spec import TrialSpec
+
+MIN_BATCH = 2
+"""Smallest group worth building array state for; singletons fall back."""
+
+
+class BatchedRunner:
+    """Vectorizing front-end over a per-trial runner.
+
+    Args:
+        inner: the per-trial runner executing fallback specs; anything
+            with ``iter_results(specs)`` yielding one result per spec in
+            order (``ParallelRunner``, ``SupervisedRunner``).
+
+    Attributes:
+        stats: counters over the last :meth:`run`/:meth:`iter_results`
+            call — ``batched`` / ``fallback`` / ``quarantined`` /
+            ``batch_errors``.
+        fallback_reasons: ``Counter`` of
+            :func:`~repro.batched.support.unsupported_reason` strings.
+        errors: ``(signature, repr(exc))`` for engine runs that raised;
+            their specs are recovered through the per-trial path, so an
+            entry here records a degradation, never data loss.
+    """
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+        self.stats: Dict[str, int] = {
+            "batched": 0, "fallback": 0, "quarantined": 0,
+            "batch_errors": 0}
+        self.fallback_reasons: Counter = Counter()
+        self.errors: List[Tuple[Tuple[Any, ...], str]] = []
+
+    def run(self, specs: Sequence[TrialSpec]) -> List[Any]:
+        """Execute ``specs``; results in submission order."""
+        return list(self.iter_results(specs))
+
+    def iter_results(self, specs: Sequence[TrialSpec]) -> Iterator[Any]:
+        """Yield one result per spec, in submission order.
+
+        The whole batched portion runs up front (it is the fast path);
+        fallback trials then stream through the inner runner, and results
+        are interleaved back into submission order as they become
+        available.
+        """
+        specs = list(specs)
+        results: List[Any] = [None] * len(specs)
+        have: List[bool] = [False] * len(specs)
+        fallback: List[int] = []
+
+        groups: Dict[Tuple[Any, ...], List[int]] = {}
+        for index, spec in enumerate(specs):
+            reason = unsupported_reason(spec)
+            if reason is not None:
+                self.fallback_reasons[reason] += 1
+                fallback.append(index)
+            else:
+                groups.setdefault(batch_signature(spec), []).append(index)
+
+        for signature, members in groups.items():
+            if len(members) < MIN_BATCH:
+                self.fallback_reasons["batch smaller than "
+                                      f"{MIN_BATCH}"] += 1
+                fallback.extend(members)
+                continue
+            from repro.batched.engine import BatchedWindowEngine
+            try:
+                group_results, quarantined = \
+                    BatchedWindowEngine([specs[i] for i in members]).run()
+            except Exception as exc:
+                # Record the failure and recover every member through the
+                # per-trial oracle: a batch bug degrades throughput, not
+                # results.
+                self.stats["batch_errors"] += 1
+                self.errors.append((signature, repr(exc)))
+                self.fallback_reasons["batch engine error"] += len(members)
+                fallback.extend(members)
+                continue
+            for local, result in enumerate(group_results):
+                if result is not None:
+                    results[members[local]] = result
+                    have[members[local]] = True
+                    self.stats["batched"] += 1
+            for local in quarantined:
+                self.stats["quarantined"] += 1
+                self.fallback_reasons["quarantined mid-batch"] += 1
+                fallback.append(members[local])
+
+        fallback.sort()
+        self.stats["fallback"] += len(fallback)
+        recovered = self.inner.iter_results([specs[i] for i in fallback])
+        for index in range(len(specs)):
+            if not have[index]:
+                # The sorted fallback indices are exactly the not-yet-
+                # filled positions in ascending order, so the inner
+                # stream lines up positionally.
+                results[index] = next(recovered)
+            yield results[index]
+
+
+__all__ = ["BatchedRunner", "MIN_BATCH"]

@@ -1,0 +1,239 @@
+"""Capability gating and batch grouping for the vectorized backend.
+
+The batched engine (:mod:`repro.batched.engine`) vectorizes a *subset* of
+the trial space — the hot (protocol, adversary) combinations behind the
+E1/E2 workloads and the search/fuzz inner loops.  Everything else must
+keep flowing through the per-trial engines, which remain the bit-identity
+oracle.  This module is the single place where that boundary is defined:
+
+* :func:`numpy_ok` — whether a vector backend exists at all.  numpy is an
+  optional dependency of this package; when it is missing (or too old to
+  provide ``np.bitwise_count``) every spec simply reports unsupported and
+  the runner degrades to the per-trial path.
+* :func:`unsupported_reason` — ``None`` when a spec is vectorizable, else
+  a short human-readable reason (surfaced in runner fallback stats).
+* :func:`batch_signature` — the grouping key: specs with equal signatures
+  share one :class:`~repro.batched.engine.BatchedWindowEngine` run.
+* :func:`resolve_backend` — maps the CLI/TrialSpec backend names
+  (``trial`` / ``batched`` / ``auto``) to the backend actually used.
+
+The support checks are deliberately conservative: whenever the per-trial
+oracle would *raise* for a spec (invalid thresholds, oversized silenced
+set, ``pad="error"`` replay exhaustion, crash budget overflow), the spec
+is declared unsupported so the inner runner reproduces the exact failure
+instead of the batch engine having to emulate exception timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.thresholds import ThresholdConfig, default_thresholds
+from repro.runner.spec import TrialSpec
+from repro.simulation.windows import WindowSpec
+
+try:  # numpy is optional: absence just disables the batched backend.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+BACKEND_TRIAL = "trial"
+BACKEND_BATCHED = "batched"
+BACKEND_AUTO = "auto"
+BACKENDS = (BACKEND_TRIAL, BACKEND_BATCHED, BACKEND_AUTO)
+
+#: Largest processor count a batch supports: vote tallies are kept as one
+#: uint64 sender bitmask per (trial, processor, round-slot).
+MAX_PROCESSORS = 64
+
+#: Largest window cap a batch supports: channel messages pack round and
+#: chain depth into 24-bit fields (round can cascade up to ``n`` times
+#: per window, so the safe cap is ``2**24 / MAX_PROCESSORS``).
+MAX_WINDOW_CAP = 200_000
+
+_RT_KWARGS = frozenset({"thresholds", "validate_thresholds"})
+_SPLIT_KWARGS = frozenset({"block_threshold", "seed"})
+_ADAPTIVE_KWARGS = frozenset({"block_threshold", "seed", "reset_fraction"})
+
+
+def numpy_ok() -> bool:
+    """Whether the vector backend's numpy requirements are met."""
+    return _np is not None and hasattr(_np, "bitwise_count")
+
+
+def effective_thresholds(spec: TrialSpec) -> ThresholdConfig:
+    """The (T1, T2, T3) a reset-tolerant trial will actually run with.
+
+    Mirrors ``ResetTolerantAgreement.__init__`` exactly; raises whatever
+    it would raise (the caller treats any raise as "fall back, let the
+    oracle fail").
+    """
+    kwargs = dict(spec.protocol_kwargs)
+    thresholds = kwargs.get("thresholds")
+    if thresholds is None:
+        return default_thresholds(spec.n, spec.t)
+    if not isinstance(thresholds, ThresholdConfig):
+        raise TypeError("thresholds must be a ThresholdConfig")
+    if kwargs.get("validate_thresholds", True):
+        thresholds.require_valid()
+    return thresholds
+
+
+def replay_windows(spec: TrialSpec) -> Tuple[WindowSpec, ...]:
+    """The decoded, validated schedule of a replay-schedule spec."""
+    windows = tuple(
+        entry if isinstance(entry, WindowSpec)
+        else WindowSpec.from_jsonable(entry)
+        for entry in spec.adversary_kwargs.get("schedule", ()))
+    for window in windows:
+        window.validate(spec.n, spec.t)
+    return windows
+
+
+def _adversary_reason(spec: TrialSpec) -> Optional[str]:
+    """Adversary-side support check (``None`` when vectorizable)."""
+    kwargs: Dict[str, Any] = dict(spec.adversary_kwargs)
+    adversary = spec.adversary
+    if adversary == "benign":
+        if kwargs:
+            return "benign adversary takes no kwargs"
+        return None
+    if adversary == "silencing":
+        if set(kwargs) - {"silenced"}:
+            return "unsupported silencing kwargs"
+        silenced = kwargs.get("silenced")
+        if silenced is not None and len(frozenset(silenced)) > spec.t:
+            return "oversized silenced set (oracle raises)"
+        return None
+    if adversary in ("split-vote", "adaptive-resetting"):
+        allowed = (_ADAPTIVE_KWARGS if adversary == "adaptive-resetting"
+                   else _SPLIT_KWARGS)
+        if set(kwargs) - allowed:
+            return f"unsupported {adversary} kwargs"
+        if kwargs.get("seed") is None:
+            # An unseeded adversary draws from the shared fallback stream,
+            # whose order of consumption a batch cannot reproduce.
+            return "unseeded adversary (shared fallback stream)"
+        threshold = kwargs.get("block_threshold")
+        if threshold is not None and not isinstance(threshold, int):
+            return "non-integer block_threshold"
+        if adversary == "adaptive-resetting":
+            fraction = kwargs.get("reset_fraction", 1.0)
+            if not isinstance(fraction, (int, float)) or \
+                    not 0.0 <= fraction <= 1.0:
+                return "invalid reset_fraction (oracle raises)"
+            if spec.protocol == "ben-or" and int(spec.t * fraction) > 0:
+                # A reset restarts Ben-Or at round 1, so every buffered
+                # message looks far-future to the ring; such trials would
+                # all quarantine, so the batch declines them up front.
+                return "resets restart ben-or rounds"
+        return None
+    if adversary == "replay-schedule":
+        if set(kwargs) - {"schedule", "pad"}:
+            return "unsupported replay kwargs"
+        pad = kwargs.get("pad", "benign")
+        schedule = kwargs.get("schedule", ())
+        if pad == "error":
+            return "pad='error' raises on exhaustion"
+        if pad == "repeat" and not schedule:
+            return "pad='repeat' with empty schedule (oracle raises)"
+        if pad not in ("benign", "repeat"):
+            return "unknown pad mode (oracle raises)"
+        try:
+            windows = replay_windows(spec)
+        except Exception:
+            return "malformed or invalid schedule window (oracle raises)"
+        crashed = frozenset().union(*(w.crashes for w in windows)) \
+            if windows else frozenset()
+        if len(crashed) > spec.t:
+            return "crash budget overflow (oracle raises)"
+        if spec.protocol == "ben-or" and any(w.resets for w in windows):
+            return "resets restart ben-or rounds"
+        return None
+    return f"adversary {adversary!r} not vectorized"
+
+
+def unsupported_reason(spec: TrialSpec) -> Optional[str]:
+    """Why ``spec`` cannot run on the batched engine (``None`` if it can)."""
+    if not numpy_ok():
+        return "numpy >= 2.0 unavailable"
+    if spec.engine != "window":
+        return "step engine"
+    if spec.record_trace:
+        return "trace recording"
+    if spec.record_configurations:
+        return "configuration recording"
+    if spec.seed is None:
+        # Unseeded trials draw processor RNGs from the shared fallback
+        # stream; batching would reorder those draws.
+        return "unseeded trial (shared fallback stream)"
+    if spec.n > MAX_PROCESSORS:
+        return f"n > {MAX_PROCESSORS} (sender bitmask width)"
+    if spec.max_windows > MAX_WINDOW_CAP:
+        return f"max_windows > {MAX_WINDOW_CAP} (packed round field)"
+    if spec.protocol == "reset-tolerant":
+        if set(spec.protocol_kwargs) - _RT_KWARGS:
+            return "unsupported protocol kwargs"
+        try:
+            effective_thresholds(spec)
+        except Exception:
+            return "invalid thresholds (oracle raises)"
+    elif spec.protocol == "ben-or":
+        if spec.protocol_kwargs:
+            return "unsupported protocol kwargs"
+        if not spec.t < spec.n / 2:
+            return "ben-or needs t < n/2 (oracle raises)"
+    else:
+        return f"protocol {spec.protocol!r} not vectorized"
+    return _adversary_reason(spec)
+
+
+def batch_signature(spec: TrialSpec) -> Tuple[Any, ...]:
+    """The grouping key for one batched-engine run.
+
+    Trials in one batch must share the protocol's scalar parameters
+    (thresholds become scalars in the kernels) and the stop rule; seeds,
+    inputs, window caps and per-trial adversary kwargs may all differ.
+    Only call on specs :func:`unsupported_reason` accepted.
+    """
+    if spec.protocol == "reset-tolerant":
+        thresholds = effective_thresholds(spec)
+        protocol_key: Tuple[Any, ...] = (
+            thresholds.t1, thresholds.t2, thresholds.t3)
+    else:
+        protocol_key = ()
+    return (spec.protocol, protocol_key, spec.adversary, spec.n, spec.t,
+            spec.stop_when)
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Map a requested backend name to the backend actually used.
+
+    ``auto`` selects ``batched`` exactly when numpy is available; an
+    explicit ``batched`` without numpy also degrades to ``trial`` (the
+    batched runner would pass every spec through anyway).
+    """
+    if backend is None:
+        return BACKEND_TRIAL
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend == BACKEND_TRIAL:
+        return BACKEND_TRIAL
+    return BACKEND_BATCHED if numpy_ok() else BACKEND_TRIAL
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_AUTO",
+    "BACKEND_BATCHED",
+    "BACKEND_TRIAL",
+    "MAX_PROCESSORS",
+    "MAX_WINDOW_CAP",
+    "batch_signature",
+    "effective_thresholds",
+    "numpy_ok",
+    "replay_windows",
+    "resolve_backend",
+    "unsupported_reason",
+]

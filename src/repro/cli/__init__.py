@@ -247,7 +247,8 @@ def _open_store(args: argparse.Namespace, name: str,
     if args.no_store:
         return None, 0, False
     store = RunStore.open(args.out, name, params, workers=args.workers,
-                          fault_injector=fault_injector, health=health)
+                          fault_injector=fault_injector, health=health,
+                          backend=getattr(args, "backend", None))
     return store, store.row_count, bool(store.manifest.get("completed"))
 
 
@@ -296,7 +297,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             health=health)
         started = time.time()
         rows = experiment.run(params=params, workers=args.workers,
-                              store=store, policy=policy, health=health)
+                              store=store, policy=policy, health=health,
+                              backend=args.backend)
         wall_time = time.time() - started
         header = f"== {experiment.name}: {experiment.title} " \
                  f"({wall_time:.1f}s"
@@ -359,6 +361,11 @@ def _cmd_show(args: argparse.Namespace) -> int:
           + f", seed {manifest.get('seed')}, "
           f"v{manifest.get('package_version')}) ==")
     print(f"params: {manifest['params']}")
+    backend = manifest.get("backend")
+    if backend is not None:
+        note = (" (resumed under differing backends)"
+                if backend == "mixed" else "")
+        print(f"backend: {backend}{note}")
     _show_manifest_health(manifest)
     print(format_table(rows))
     return 0
@@ -401,7 +408,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     started = time.time()
     report = run_fuzz_campaign(params, workers=args.workers, store=store,
                                minimize=args.minimize, policy=policy,
-                               health=health)
+                               health=health, backend=args.backend)
     wall_time = time.time() - started
     header = (f"== fuzz: {params['trials']} trials of "
               f"{params['protocol']} (n={params['n']}, t={params['t']}, "
@@ -459,7 +466,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         health=health)
     started = time.time()
     report = run_search_campaign(params, workers=args.workers, store=store,
-                                 policy=policy, health=health)
+                                 policy=policy, health=health,
+                                 backend=args.backend)
     wall_time = time.time() - started
     header = (f"== search: {params['strategy']} x "
               f"{params['generations']}x{params['population']} toward "
@@ -571,6 +579,12 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
                              "'crash=0.2,hang=0.1,raise=0.1,seed=7' "
                              "(kinds: crash, hang, raise, poison, torn; "
                              "default: $REPRO_CHAOS)")
+    parser.add_argument("--backend", default="trial",
+                        choices=("trial", "batched", "auto"),
+                        help="execution backend: 'batched' vectorizes "
+                             "supported trial groups (bit-identical "
+                             "results), 'auto' does so when numpy is "
+                             "available (default: trial)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -141,7 +141,8 @@ class Experiment:
             quick: bool = False, workers: Optional[int] = None,
             store: Optional[RowStore] = None,
             policy: Optional[Any] = None,
-            health: Optional[RunHealth] = None) -> List[Row]:
+            health: Optional[RunHealth] = None,
+            backend: Optional[str] = None) -> List[Row]:
         """Run the experiment and return its rows.
 
         Without a ``store`` the whole spec batch goes through one
@@ -159,6 +160,11 @@ class Experiment:
         its failure is recorded in ``health`` (and, with a store, in the
         manifest's ``run_health`` block) instead of killing the run; a
         later resume retries exactly the missing cells.
+
+        ``backend`` selects the execution backend: ``"batched"`` (or
+        ``"auto"`` with numpy present) routes vectorizable spec groups
+        through :class:`~repro.batched.runner.BatchedRunner`, with
+        bit-identical results by contract.
         """
         from repro.runner.supervisor import ExecutionPolicy
 
@@ -173,7 +179,7 @@ class Experiment:
         if store is None:
             batch = [spec for cell in cells for spec in cell.specs]
             results = run_trials(batch, workers=workers, policy=policy,
-                                 health=health)
+                                 health=health, backend=backend)
             offset = 0
             for cell in cells:
                 chunk = results[offset:offset + len(cell.specs)]
@@ -186,7 +192,8 @@ class Experiment:
                        if cell_key_id(cell.key) not in completed]
             stream = iter_trials(
                 [spec for _, cell in pending for spec in cell.specs],
-                workers=workers, policy=policy, health=health)
+                workers=workers, policy=policy, health=health,
+                backend=backend)
             fresh: Dict[int, Row] = {}
             for index, cell in pending:
                 chunk = [next(stream) for _ in cell.specs]

@@ -68,11 +68,13 @@ class RunStore(RowStore):
                  params: Mapping[str, Any],
                  workers: Optional[int] = None,
                  fault_injector: Optional[Any] = None,
-                 health: Optional[RunHealth] = None) -> None:
+                 health: Optional[RunHealth] = None,
+                 backend: Optional[str] = None) -> None:
         self.path = path
         self.experiment = experiment
         self.params = _jsonable(params)
         self.workers = workers
+        self.backend = backend
         self._fault_injector = fault_injector
         self._health = health
         self._rows: Dict[str, Tuple[int, Row]] = {}
@@ -83,6 +85,15 @@ class RunStore(RowStore):
             manifest = self.manifest
             self._created_at = manifest.get("created_at")
             self._health_block = manifest.get("run_health")
+            stored_backend = manifest.get("backend")
+            if backend is None:
+                # A read-only open keeps whatever the run recorded.
+                self.backend = stored_backend
+            elif stored_backend is not None and stored_backend != backend:
+                # A resume under a different backend is recorded as
+                # "mixed" so readers never mistake the run's rows for a
+                # single backend's output.
+                self.backend = "mixed"
         self._load_existing()
         # Constructing a store only *reads*; the manifest is (re)written
         # by open(), write_row() and finish(), never on the load path.
@@ -92,11 +103,12 @@ class RunStore(RowStore):
     def open(cls, root: str, experiment: str, params: Mapping[str, Any],
              workers: Optional[int] = None,
              fault_injector: Optional[Any] = None,
-             health: Optional[RunHealth] = None) -> "RunStore":
+             health: Optional[RunHealth] = None,
+             backend: Optional[str] = None) -> "RunStore":
         """Open (creating or resuming) the run for this configuration."""
         store = cls(run_directory(root, experiment, params), experiment,
                     params, workers=workers, fault_injector=fault_injector,
-                    health=health)
+                    health=health, backend=backend)
         store._write_manifest(completed=store._manifest_completed(),
                               wall_time=store._manifest_wall_time())
         return store
@@ -215,6 +227,7 @@ class RunStore(RowStore):
             "params": self.params,
             "seed": self.params.get("seed"),
             "workers": self.workers,
+            "backend": self.backend,
             "package_version": __version__,
             "created_at": self._created_at,
             "completed": completed,

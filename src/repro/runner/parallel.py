@@ -141,35 +141,69 @@ class ParallelRunner:
 def run_trials(specs: Iterable[TrialSpec],
                workers: Optional[int] = None,
                chunk_size: Optional[int] = None,
-               policy=None, health=None) -> List[Any]:
+               policy=None, health=None,
+               backend: Optional[str] = None) -> List[Any]:
     """Convenience wrapper: build a runner and execute the specs.
 
     Passing ``policy`` and/or ``health`` selects the supervising executor
     (retries, watchdog, chaos injection) instead of the bare runner.
+    ``backend`` selects the execution backend (``trial`` / ``batched`` /
+    ``auto``); see :func:`_build_runner`.
     """
-    return _build_runner(workers, chunk_size, policy, health).run(specs)
+    return _build_runner(workers, chunk_size, policy, health,
+                         backend).run(specs)
 
 
 def iter_trials(specs: Iterable[TrialSpec],
                 workers: Optional[int] = None,
                 chunk_size: Optional[int] = None,
-                policy=None, health=None) -> Iterator[Any]:
+                policy=None, health=None,
+                backend: Optional[str] = None) -> Iterator[Any]:
     """Convenience wrapper: stream results in submission order.
 
     Passing ``policy`` and/or ``health`` selects the supervising executor
     (retries, watchdog, chaos injection) instead of the bare runner.
+    ``backend`` selects the execution backend (``trial`` / ``batched`` /
+    ``auto``); see :func:`_build_runner`.
     """
-    return _build_runner(workers, chunk_size, policy,
-                         health).iter_results(specs)
+    return _build_runner(workers, chunk_size, policy, health,
+                         backend).iter_results(specs)
 
 
-def _build_runner(workers, chunk_size, policy, health) -> "ParallelRunner":
+def _chaos_active(policy) -> bool:
+    """Whether ``policy`` carries a chaos spec that actually injects."""
+    if policy is None or getattr(policy, "chaos", None) is None:
+        return False
+    from repro.faults import build_injector
+    return build_injector(policy.chaos) is not None
+
+
+def _build_runner(workers, chunk_size, policy, health,
+                  backend: Optional[str] = None) -> Any:
+    """Assemble the executor stack for one run.
+
+    The per-trial layer is :class:`ParallelRunner`, or
+    :class:`~repro.runner.supervisor.SupervisedRunner` when a ``policy``
+    or ``health`` ledger is supplied.  When ``backend`` resolves to
+    ``batched`` (and no chaos injection is active — injected faults are a
+    per-trial concept, so chaos forces the per-trial path), that layer is
+    wrapped in :class:`~repro.batched.runner.BatchedRunner`, which
+    vectorizes supported spec groups and falls back to the wrapped runner
+    for the rest.
+    """
+    # Imported lazily: both modules build on this one.
+    from repro.batched.support import BACKEND_BATCHED, resolve_backend
+    resolved = resolve_backend(backend)
     if policy is None and health is None:
-        return ParallelRunner(workers=workers, chunk_size=chunk_size)
-    # Imported lazily: supervisor builds on this module.
-    from repro.runner.supervisor import SupervisedRunner
-    return SupervisedRunner(workers=workers, chunk_size=chunk_size,
-                            policy=policy, health=health)
+        runner: Any = ParallelRunner(workers=workers, chunk_size=chunk_size)
+    else:
+        from repro.runner.supervisor import SupervisedRunner
+        runner = SupervisedRunner(workers=workers, chunk_size=chunk_size,
+                                  policy=policy, health=health)
+    if resolved == BACKEND_BATCHED and not _chaos_active(policy):
+        from repro.batched.runner import BatchedRunner
+        runner = BatchedRunner(runner)
+    return runner
 
 
 __all__ = ["ParallelRunner", "run_trials", "iter_trials", "default_workers"]

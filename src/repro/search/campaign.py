@@ -349,7 +349,8 @@ def run_search_campaign(params: Dict[str, Any],
                         workers: Optional[int] = None,
                         store: Optional[RunStore] = None,
                         policy: Optional[Any] = None,
-                        health: Optional[Any] = None) -> SearchReport:
+                        health: Optional[Any] = None,
+                        backend: Optional[str] = None) -> SearchReport:
     """Run (or resume) a search campaign.
 
     Args:
@@ -362,6 +363,9 @@ def run_search_campaign(params: Dict[str, Any],
         policy: execution policy for the supervising executor (retries,
             watchdog, chaos); default: retries on, no watchdog, no chaos.
         health: the run-health ledger recovery actions are recorded into.
+        backend: execution backend (``trial`` / ``batched`` / ``auto``);
+            ``batched`` vectorizes each generation's candidate
+            evaluations, with bit-identical scores by contract.
     """
     from repro.experiments.base import cell_key_id
     from repro.runner.health import RunHealth, TrialFailure
@@ -393,7 +397,7 @@ def run_search_campaign(params: Dict[str, Any],
             [candidate_spec(params, objective, genomes[candidate],
                             generation, candidate)
              for candidate in pending],
-            workers=workers, policy=policy, health=health)
+            workers=workers, policy=policy, health=health, backend=backend)
         fresh: Dict[int, Dict[str, Any]] = {}
         for candidate in pending:
             result = next(stream)

@@ -11,7 +11,7 @@ seed does not determine.
 
 These checks apply to files under :data:`~repro.staticcheck.walker.
 D_SCOPE_DIRS` (``simulation/``, ``protocols/``, ``adversaries/``,
-``search/``, ``verification/``).
+``search/``, ``verification/``, ``batched/``).
 
 * **D1** — call into the module-level ``random`` API (or importing a
   draw function from it): all draws share one hidden global stream.
@@ -29,6 +29,14 @@ D_SCOPE_DIRS` (``simulation/``, ``protocols/``, ``adversaries/``,
   from a parameter that *defaults* to ``None``: ``Random(None)`` seeds
   from OS entropy.  Route optional seeds through
   :func:`repro.determinism.seeded_rng` instead.
+* **D6** — numpy's entropy: a ``numpy.random.<draw>`` call (the legacy
+  module-level API is one hidden global ``RandomState``), or a numpy
+  generator (``default_rng``, ``RandomState``, ``SeedSequence``, bit
+  generators) constructed unseeded / from ``None`` / from a parameter
+  defaulting to ``None`` — all of which fall back to OS entropy.  The
+  batched engine's only sanctioned randomness is the per-trial
+  ``random.Random`` replicas it mirrors from the per-trial oracle, so
+  in practice the fix is "don't draw from numpy at all".
 """
 
 from __future__ import annotations
@@ -56,6 +64,17 @@ _CLOCK_CALLS = frozenset({
     ("os", "urandom"), ("os", "getrandom"),
 })
 """Attribute calls that read the wall clock or OS entropy."""
+
+_NUMPY_NAMES = frozenset({"np", "numpy", "_np"})
+"""Names the numpy module is conventionally bound to in this tree."""
+
+_NUMPY_GENERATOR_NAMES = frozenset({
+    "default_rng", "RandomState", "Generator", "SeedSequence",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+"""``numpy.random`` attributes that *construct* generators (seedable —
+D6 only when built unseeded) rather than draw from the global stream
+(D6 always)."""
 
 _SET_BUILDERS = frozenset({"set", "frozenset"})
 _SET_RETURNING_HELPERS = frozenset({
@@ -146,6 +165,7 @@ def _is_rng_draw(node: ast.AST) -> bool:
 
 def _check_file(source: SourceFile) -> Iterator[Finding]:
     imported_clock_names: Set[str] = set()
+    imported_np_generators: Set[str] = set()
     for node in ast.walk(source.tree):
         # D1: `from random import <draw>` (anything but the classes).
         if isinstance(node, ast.ImportFrom):
@@ -158,6 +178,21 @@ def _check_file(source: SourceFile) -> Iterator[Finding]:
                         message="imports the module-level random API "
                                 f"({', '.join(bad)}); draw from an "
                                 "injected random.Random instead")
+            elif node.module == "numpy.random":
+                # D6: importing a global-stream draw; generator classes
+                # are tracked and checked at their construction sites.
+                bad = [alias.name for alias in node.names
+                       if alias.name not in _NUMPY_GENERATOR_NAMES]
+                if bad:
+                    yield Finding(
+                        code="D6", path=source.relpath, line=node.lineno,
+                        message="imports numpy.random global-stream "
+                                f"draws ({', '.join(bad)}); numpy "
+                                "randomness is off the execution path")
+                for alias in node.names:
+                    if alias.name in _NUMPY_GENERATOR_NAMES:
+                        imported_np_generators.add(
+                            alias.asname or alias.name)
             elif node.module in ("time", "datetime", "uuid", "os",
                                  "secrets"):
                 for alias in node.names:
@@ -188,6 +223,22 @@ def _check_file(source: SourceFile) -> Iterator[Finding]:
             # D5: random.Random(...) mis-seeded.
             if base == "random" and attr in ("Random", "SystemRandom"):
                 yield from _check_random_construction(source, node)
+        elif isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Attribute) and \
+                func.value.attr == "random" and \
+                isinstance(func.value.value, ast.Name) and \
+                func.value.value.id in _NUMPY_NAMES:
+            # D6: np.random.<attr>(...) — global-stream draw, or a
+            # generator construction that must be seeded.
+            if func.attr in _NUMPY_GENERATOR_NAMES:
+                yield from _check_numpy_generator_construction(
+                    source, node, f"numpy.random.{func.attr}")
+            else:
+                yield Finding(
+                    code="D6", path=source.relpath, line=node.lineno,
+                    message=f"numpy.random.{func.attr}() draws from "
+                            "numpy's hidden global RandomState; numpy "
+                            "randomness is off the execution path")
         elif isinstance(func, ast.Name):
             if func.id in imported_clock_names:
                 yield Finding(
@@ -196,6 +247,9 @@ def _check_file(source: SourceFile) -> Iterator[Finding]:
                             "executions must be a function of the seed")
             if func.id == "Random":
                 yield from _check_random_construction(source, node)
+            if func.id in imported_np_generators:
+                yield from _check_numpy_generator_construction(
+                    source, node, func.id)
 
     # D3 / D4 need per-function type context.
     yield from _check_order_and_floats(source)
@@ -235,6 +289,38 @@ def _check_random_construction(source: SourceFile,
                 message=f"random.Random({seed_arg.id}) where "
                         f"{seed_arg.id} defaults to None falls back to "
                         "OS entropy; use repro.determinism.seeded_rng")
+
+
+def _check_numpy_generator_construction(source: SourceFile, node: ast.Call,
+                                        name: str) -> Iterator[Finding]:
+    """D6 on ``default_rng``/``RandomState``/bit-generator constructions.
+
+    Mirrors the D5 seeding rules: no argument, a literal ``None``, or a
+    first argument naming a parameter that defaults to ``None`` all fall
+    back to OS entropy.
+    """
+    if not node.args and not node.keywords:
+        yield Finding(
+            code="D6", path=source.relpath, line=node.lineno,
+            message=f"{name}() without a seed draws OS entropy; pass an "
+                    "explicit seed")
+        return
+    seed_arg = node.args[0] if node.args else None
+    if seed_arg is None and node.keywords:
+        seed_arg = node.keywords[0].value
+    if isinstance(seed_arg, ast.Constant) and seed_arg.value is None:
+        yield Finding(
+            code="D6", path=source.relpath, line=node.lineno,
+            message=f"{name}(None) is seeded from OS entropy")
+        return
+    if isinstance(seed_arg, ast.Name):
+        enclosing = _enclosing_function(source, node)
+        if enclosing is not None and \
+                seed_arg.id in _params_defaulting_to_none(enclosing):
+            yield Finding(
+                code="D6", path=source.relpath, line=node.lineno,
+                message=f"{name}({seed_arg.id}) where {seed_arg.id} "
+                        "defaults to None falls back to OS entropy")
 
 
 def _check_order_and_floats(source: SourceFile) -> Iterator[Finding]:

@@ -29,6 +29,8 @@ CHECK_CODES: Dict[str, str] = {
     "D4": "float equality in a decision predicate",
     "D5": "random.Random constructed unseeded (or from a parameter that "
           "defaults to None)",
+    "D6": "numpy.random global-stream call, or a numpy Generator "
+          "constructed unseeded",
     # P — parity: both engines and the invariant checker speak the same
     # event vocabulary, and every mutation operator is contract-tested.
     "P1": "trace event type not recorded by both execution engines",

@@ -21,7 +21,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.staticcheck.report import Suppression, parse_suppressions
 
 D_SCOPE_DIRS = ("simulation", "protocols", "adversaries", "search",
-                "verification")
+                "verification", "batched")
 """Package subdirectories the determinism (D) checks apply to."""
 
 SKIP_DIRS = ("staticcheck_fixtures",)

@@ -20,8 +20,14 @@ such, independently of the engines' own summary bookkeeping:
 * :mod:`repro.verification.differential` — compiles window-engine
   executions into step schedules and replays them on the step engine,
   asserting both engines realise the same model.
+* :mod:`repro.verification.batched_diff` — replays sampled trials of
+  every batched-backend run through the per-trial oracle and asserts
+  bit-identical :class:`~repro.simulation.trace.ExecutionResult`\\ s.
 """
 
+from repro.verification.batched_diff import (DiffMismatch, DiffReport,
+                                             diff_experiment_cells,
+                                             diff_specs)
 from repro.verification.differential import (DifferentialReport,
                                              differential_replay,
                                              replay_trace_on_step_engine)
@@ -65,4 +71,8 @@ __all__ = [
     "DifferentialReport",
     "differential_replay",
     "replay_trace_on_step_engine",
+    "DiffMismatch",
+    "DiffReport",
+    "diff_specs",
+    "diff_experiment_cells",
 ]

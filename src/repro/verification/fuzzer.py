@@ -228,7 +228,8 @@ def run_fuzz_campaign(params: Dict[str, Any],
                       store: Optional[RunStore] = None,
                       minimize: bool = False,
                       policy: Optional[Any] = None,
-                      health: Optional[Any] = None) -> FuzzReport:
+                      health: Optional[Any] = None,
+                      backend: Optional[str] = None) -> FuzzReport:
     """Run (or resume) a fuzz campaign.
 
     Args:
@@ -243,6 +244,9 @@ def run_fuzz_campaign(params: Dict[str, Any],
         policy: execution policy for the supervising executor (retries,
             watchdog, chaos); default: retries on, no watchdog, no chaos.
         health: the run-health ledger recovery actions are recorded into.
+        backend: execution backend (``trial`` / ``batched`` / ``auto``);
+            ``batched`` vectorizes supported fuzz trials, with
+            bit-identical results by contract.
     """
     import os
 
@@ -261,7 +265,8 @@ def run_fuzz_campaign(params: Dict[str, Any],
     pending = [index for index in range(params["trials"])
                if cell_key_id((FUZZ_EXPERIMENT, index)) not in completed]
     stream = iter_trials([specs[index] for index in pending],
-                         workers=workers, policy=policy, health=health)
+                         workers=workers, policy=policy, health=health,
+                         backend=backend)
     fresh: Dict[int, Dict[str, Any]] = {}
     failed = 0
     for index in pending:

@@ -1,0 +1,22 @@
+"""D6 fixture: numpy's entropy on the execution path.
+
+Trips all three D6 shapes — a global-stream draw, an unseeded
+``default_rng``, and a generator built from a parameter defaulting to
+``None``.
+"""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def shuffle_batch(order):
+    np.random.shuffle(order)
+    return order
+
+
+def fresh_generator():
+    return default_rng()
+
+
+def generator_for(seed=None):
+    return np.random.default_rng(seed)

@@ -1,0 +1,208 @@
+"""The batched engine against the per-trial oracle, shape by shape.
+
+Every (protocol, adversary, stop rule) combination the batched backend
+claims to vectorize is exercised here with a grid of seed-deterministic
+specs — mixed inputs, mixed seeds, replay schedules with resets, crashes
+and deliver-last perturbations — and each trial's full
+:class:`~repro.simulation.trace.ExecutionResult` must equal what
+:func:`~repro.runner.spec.execute_trial` produces.  This is the
+bit-identity contract at its finest grain; the differential harness
+(``test_batched_differential.py``) re-checks it on the real experiment
+grids and through the runner stack.
+"""
+
+import random
+
+import pytest
+
+from repro.batched.support import (batch_signature, numpy_ok,
+                                   unsupported_reason)
+from repro.runner.spec import TrialSpec, execute_trial
+from repro.simulation.windows import WindowSpec
+
+pytestmark = pytest.mark.skipif(
+    not numpy_ok(), reason="batched backend needs numpy >= 2.0")
+
+
+def _specs(protocol, adversary, n, t, count, base_seed, stop_when="all",
+           adversary_kwargs_fn=None, max_windows=2000):
+    rng = random.Random(base_seed)
+    specs = []
+    for _ in range(count):
+        inputs = tuple(rng.getrandbits(1) for _ in range(n))
+        kwargs = adversary_kwargs_fn(rng) if adversary_kwargs_fn else {}
+        specs.append(TrialSpec(
+            protocol=protocol, adversary=adversary, n=n, t=t,
+            inputs=inputs, seed=rng.getrandbits(32),
+            adversary_kwargs=kwargs, stop_when=stop_when,
+            max_windows=max_windows))
+    return specs
+
+
+def _random_schedule(rng, n, t, length, with_resets=True,
+                     with_crashes=False):
+    crash_order = list(range(n))
+    rng.shuffle(crash_order)
+    crash_pool = crash_order[:t]
+    used_crashes = set()
+    schedule = []
+    for _ in range(length):
+        senders_for = []
+        for _receiver in range(n):
+            hidden = rng.sample(range(n), rng.randint(0, t))
+            senders_for.append(frozenset(range(n)) - frozenset(hidden))
+        resets = frozenset(rng.sample(range(n), rng.randint(0, t))) \
+            if with_resets and rng.random() < 0.4 else frozenset()
+        crashes = frozenset()
+        if with_crashes and rng.random() < 0.2 and len(used_crashes) < t:
+            pick = rng.choice(crash_pool)
+            used_crashes.add(pick)
+            crashes = frozenset({pick})
+        deliver_last = frozenset(rng.sample(range(n),
+                                            rng.randint(0, n // 2))) \
+            if rng.random() < 0.5 else frozenset()
+        schedule.append(WindowSpec(
+            senders_for=tuple(senders_for), resets=resets,
+            crashes=crashes, deliver_last=deliver_last).to_jsonable())
+    return schedule
+
+
+def _replay_kwargs(n, t, with_resets, with_crashes, pad):
+    def build(rng):
+        return {"schedule": _random_schedule(
+            rng, n, t, rng.randint(1, 12), with_resets, with_crashes),
+            "pad": pad}
+    return build
+
+
+def _seeded(rng):
+    return {"seed": rng.getrandbits(32)}
+
+
+SHAPES = {
+    "rt-benign-all": lambda: _specs(
+        "reset-tolerant", "benign", 8, 1, 12, 1),
+    "rt-benign-first": lambda: _specs(
+        "reset-tolerant", "benign", 8, 1, 12, 2, stop_when="first"),
+    "benor-benign-all": lambda: _specs(
+        "ben-or", "benign", 8, 1, 12, 3),
+    "benor-benign-first": lambda: _specs(
+        "ben-or", "benign", 7, 2, 12, 4, stop_when="first"),
+    "rt-silencing": lambda: _specs(
+        "reset-tolerant", "silencing", 8, 1, 12, 5),
+    "benor-silencing": lambda: _specs(
+        "ben-or", "silencing", 9, 2, 12, 6,
+        adversary_kwargs_fn=lambda r: {"silenced": (0, 1)}),
+    "rt-split-vote": lambda: _specs(
+        "reset-tolerant", "split-vote", 8, 1, 16, 7,
+        adversary_kwargs_fn=_seeded),
+    "benor-split-vote": lambda: _specs(
+        "ben-or", "split-vote", 8, 1, 16, 8, stop_when="first",
+        adversary_kwargs_fn=_seeded),
+    "rt-adaptive": lambda: _specs(
+        "reset-tolerant", "adaptive-resetting", 8, 1, 16, 9,
+        stop_when="first",
+        adversary_kwargs_fn=lambda r: {"seed": r.getrandbits(32),
+                                       "reset_fraction": 1.0}),
+    "rt-adaptive-frac": lambda: _specs(
+        "reset-tolerant", "adaptive-resetting", 13, 2, 10, 10,
+        stop_when="first",
+        adversary_kwargs_fn=lambda r: {"seed": r.getrandbits(32),
+                                       "reset_fraction": 0.5}),
+    "rt-replay-benign-pad": lambda: _specs(
+        "reset-tolerant", "replay-schedule", 8, 1, 12, 11,
+        adversary_kwargs_fn=_replay_kwargs(8, 1, True, True, "benign")),
+    "rt-replay-repeat-pad": lambda: _specs(
+        "reset-tolerant", "replay-schedule", 8, 1, 12, 12,
+        stop_when="first",
+        adversary_kwargs_fn=_replay_kwargs(8, 1, True, False, "repeat")),
+    "benor-replay-benign-pad": lambda: _specs(
+        "ben-or", "replay-schedule", 8, 1, 12, 13,
+        adversary_kwargs_fn=_replay_kwargs(8, 1, False, True, "benign")),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES), ids=sorted(SHAPES))
+def test_engine_is_bit_identical_to_oracle(shape):
+    from repro.batched.engine import BatchedWindowEngine
+
+    specs = SHAPES[shape]()
+    for spec in specs:
+        assert unsupported_reason(spec) is None
+    assert len({batch_signature(spec) for spec in specs}) == 1
+    results, quarantined = BatchedWindowEngine(specs).run()
+    for index, spec in enumerate(specs):
+        if index in quarantined:
+            continue  # quarantined trials rerun on the oracle upstream
+        assert results[index] == execute_trial(spec), f"{shape}[{index}]"
+
+
+def test_quarantined_indices_have_no_result():
+    """A quarantined trial yields None, never a wrong result."""
+    from repro.batched.engine import BatchedWindowEngine
+
+    specs = SHAPES["rt-adaptive"]()
+    results, quarantined = BatchedWindowEngine(specs).run()
+    for index in quarantined:
+        assert results[index] is None
+
+
+def test_support_gate_declines_what_the_oracle_rejects():
+    """Specs the oracle raises on must be declined, not emulated."""
+    base = dict(protocol="reset-tolerant", adversary="split-vote",
+                n=8, t=1, inputs=(0, 1) * 4, seed=7,
+                adversary_kwargs={"seed": 3})
+    assert unsupported_reason(TrialSpec(**base)) is None
+    unseeded = dict(base, adversary_kwargs={})
+    assert "unseeded" in unsupported_reason(TrialSpec(**unseeded))
+    no_seed = dict(base, seed=None)
+    assert "unseeded trial" in unsupported_reason(TrialSpec(**no_seed))
+    traced = dict(base, record_trace=True)
+    assert "trace" in unsupported_reason(TrialSpec(**traced))
+    stepped = dict(base, engine="step")
+    assert "step engine" in unsupported_reason(TrialSpec(**stepped))
+    big = dict(base, n=80, t=1, inputs=(0, 1) * 40)
+    assert "bitmask" in unsupported_reason(TrialSpec(**big))
+    byzantine = dict(base, adversary="random-scheduler",
+                     adversary_kwargs={})
+    assert "not vectorized" in unsupported_reason(TrialSpec(**byzantine))
+
+
+def test_ben_or_resets_are_declined():
+    spec = TrialSpec(
+        protocol="ben-or", adversary="adaptive-resetting", n=8, t=1,
+        inputs=(0, 1) * 4, seed=7,
+        adversary_kwargs={"seed": 3, "reset_fraction": 1.0})
+    assert "resets restart ben-or" in unsupported_reason(spec)
+
+
+def test_runner_falls_back_and_interleaves_in_order():
+    """Mixed supported/unsupported specs come back in submission order."""
+    from repro.batched.runner import BatchedRunner
+    from repro.runner.parallel import ParallelRunner
+
+    supported = _specs("reset-tolerant", "split-vote", 8, 1, 6, 20,
+                       adversary_kwargs_fn=_seeded)
+    unsupported = _specs("reset-tolerant", "split-vote", 8, 1, 3, 21)
+    mixed = [spec for pair in zip(supported, unsupported + supported[:3])
+             for spec in pair]
+    runner = BatchedRunner(ParallelRunner(workers=0))
+    results = runner.run(mixed)
+    assert [r for r in results] == [execute_trial(s) for s in mixed]
+    assert runner.stats["batched"] > 0
+    assert runner.stats["fallback"] >= len(unsupported)
+    assert runner.fallback_reasons[
+        "unseeded adversary (shared fallback stream)"] == len(unsupported)
+
+
+def test_runner_singleton_group_falls_back():
+    from repro.batched.runner import MIN_BATCH, BatchedRunner
+    from repro.runner.parallel import ParallelRunner
+
+    specs = _specs("reset-tolerant", "split-vote", 8, 1, 1, 22,
+                   adversary_kwargs_fn=_seeded)
+    runner = BatchedRunner(ParallelRunner(workers=0))
+    results = runner.run(specs)
+    assert results == [execute_trial(specs[0])]
+    assert runner.stats["batched"] == 0
+    assert runner.fallback_reasons[f"batch smaller than {MIN_BATCH}"] == 1

@@ -71,7 +71,7 @@ def test_suppression_only_covers_its_own_line():
 def test_expand_code_selection_accepts_codes_and_families():
     assert expand_code_selection("D1,P3") == {"D1", "P3"}
     expanded = expand_code_selection("D")
-    assert expanded == {"D1", "D2", "D3", "D4", "D5"}
+    assert expanded == {"D1", "D2", "D3", "D4", "D5", "D6"}
     assert expand_code_selection(None) is None
 
 
