@@ -46,6 +46,23 @@ Subcommands::
         independent invariant verdict.  Exits 1 when the replay violates
         an invariant, 0 when it is clean.
 
+    repro query "SQL" [--out DIR] [--engine {auto,duckdb,fallback}]
+                [--format {table,json,csv}]
+        SQL across *every* stored run (``rows``/``runs`` tables, one
+        view per experiment), with each run's manifest fields joined in
+        as columns — experiment, seed, backend, params, run_health.
+        Scans the columnar copies that ``finish()`` compacts
+        (:mod:`repro.results.columnar`), through DuckDB when installed
+        (the ``analytics`` extra) and a built-in fallback SQL subset
+        otherwise.
+
+    repro report EXPERIMENT [--out DIR] [--format {text,json}]
+                 [--percentiles Q,Q,...]
+        Aggregate every stored run of one experiment: a run summary, a
+        per-cell percentile table over every numeric row column, and
+        the recomputed finalizer rows (the E2/E4 exponential fits) of
+        the latest completed run.
+
     repro lint [--select CODES] [--ignore CODES] [--format {text,json}]
                [--root DIR] [--tests DIR] [--fixture [DIR]]
         Statically lint the ``repro`` package against the project's
@@ -64,6 +81,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import os
 import sys
 import time
@@ -106,6 +124,10 @@ Common front ends:
   same configuration resumes instead of recomputing.
 - `python -m repro run --all` — regenerate every table at full size.
 - `python -m repro show E2` — render the latest stored run.
+- `python -m repro query "SELECT ... FROM rows ..."` — SQL across every
+  stored run; `python -m repro report E2` — per-cell percentile tables
+  plus recomputed finalizer rows (see "Query & report" in
+  PERFORMANCE.md).
 - `python -m repro fuzz` — adversarial schedule fuzzing with independent
   invariant checking (see "Verification & fuzzing" in PERFORMANCE.md);
   campaigns persist and resume like experiment runs.
@@ -366,6 +388,10 @@ def _cmd_show(args: argparse.Namespace) -> int:
         note = (" (resumed under differing backends)"
                 if backend == "mixed" else "")
         print(f"backend: {backend}{note}")
+    columnar = manifest.get("columnar")
+    if columnar:
+        print(f"columnar: {columnar.get('codec')} "
+              f"({columnar.get('rows')} rows compacted)")
     _show_manifest_health(manifest)
     print(format_table(rows))
     return 0
@@ -528,6 +554,60 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         return 0
     print(f"invariant verdict: VIOLATED — {report.summary()}")
     return 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.results.query import QueryError, run_query
+
+    try:
+        result = run_query(args.out, args.sql, engine=args.engine)
+    except QueryError as error:
+        return _usage_error("query", error)
+    if args.format == "json":
+        print(json.dumps({"engine": result.engine,
+                          "columns": result.columns,
+                          "rows": result.rows},
+                         sort_keys=False, allow_nan=False))
+    elif args.format == "csv":
+        import csv
+
+        writer = csv.writer(sys.stdout)
+        writer.writerow(result.columns)
+        writer.writerows(result.rows)
+    else:
+        print(format_table(result.as_dicts(), columns=result.columns))
+        print(f"({len(result.rows)} row(s) via the {result.engine} "
+              f"engine)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.results.report import (ReportError, build_report,
+                                      render_report_text)
+
+    try:
+        percentiles = tuple(float(chunk) for chunk in
+                            args.percentiles.split(","))
+        if not percentiles or \
+                any(not 0.0 <= q <= 100.0 for q in percentiles):
+            raise ValueError
+    except ValueError:
+        return _usage_error("report", ValueError(
+            f"--percentiles expects comma-separated values in [0, 100], "
+            f"got {args.percentiles!r}"))
+    try:
+        report = build_report(args.out, args.experiment,
+                              percentiles=percentiles)
+    except KeyError as error:
+        return _usage_error("report", error)
+    except ReportError as error:
+        print(f"repro report: {error}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        sys.stdout.write(report.as_json())
+    else:
+        sys.stdout.write(render_report_text(report))
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -730,6 +810,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="a schedule artifact: a fuzz counterexample or a search "
              "best-schedule JSON file")
     replay_parser.set_defaults(func=_cmd_replay)
+
+    query_parser = subparsers.add_parser(
+        "query", help="SQL across every stored run (rows/runs tables, "
+                      "one view per experiment)")
+    query_parser.add_argument(
+        "sql", metavar="SQL",
+        help="the query, e.g. \"SELECT experiment, count(*) FROM rows "
+             "GROUP BY experiment\"")
+    query_parser.add_argument("--out", default=DEFAULT_OUT,
+                              help="results-store root "
+                                   "(default: results/)")
+    query_parser.add_argument("--engine", default="auto",
+                              choices=("auto", "duckdb", "fallback"),
+                              help="query engine: duckdb (full SQL, "
+                                   "needs the analytics extra) or the "
+                                   "built-in fallback subset "
+                                   "(default: auto)")
+    query_parser.add_argument("--format", default="table",
+                              choices=("table", "json", "csv"),
+                              help="output format (default: table)")
+    query_parser.set_defaults(func=_cmd_query)
+
+    report_parser = subparsers.add_parser(
+        "report", help="percentile tables per cell plus recomputed "
+                       "finalizer rows for one experiment's stored runs")
+    report_parser.add_argument(
+        "experiment",
+        help="experiment name or alias (fuzz/search campaigns work too)")
+    report_parser.add_argument("--out", default=DEFAULT_OUT,
+                               help="results-store root "
+                                    "(default: results/)")
+    report_parser.add_argument("--format", default="text",
+                               choices=("text", "json"),
+                               help="output format (default: text)")
+    report_parser.add_argument("--percentiles", default="50,90,99",
+                               metavar="Q,Q,...",
+                               help="percentiles for the per-cell table "
+                                    "(default: 50,90,99)")
+    report_parser.set_defaults(func=_cmd_report)
 
     lint_parser = subparsers.add_parser(
         "lint", help="statically lint the repro package against the "

@@ -1,0 +1,507 @@
+"""Columnar compaction of run rows: jsonl stays the write path.
+
+``rows.jsonl`` is append-only and flushed per line — perfect for
+kill-mid-run durability, terrible for scanning millions of rows.  This
+module adds the read-optimized layer behind it:
+
+* :func:`compact_run` rewrites one run's rows into a columnar file —
+  Parquet when pyarrow is importable (the ``analytics`` extra), a
+  single-pass pure-JSON column layout otherwise — and **proves the copy
+  lossless before keeping it**: the freshly written file is decoded and
+  compared record by record against the jsonl source; any difference
+  discards the file (and a failing Parquet write falls back to the JSON
+  codec rather than aborting the run).
+* :func:`read_records` is the scan entry point: it serves the columnar
+  copy only while it is *fresh* (its recorded source digest matches the
+  current ``rows.jsonl`` bytes) and falls back to the line-by-line parse
+  otherwise.  A run resumed after compaction therefore reads correctly
+  from jsonl until :meth:`~repro.results.store.RunStore.finish`
+  recompacts it — cell-level resume never depends on the columnar copy.
+
+A *record* is one jsonl line's payload, ``{"index": int, "key": [...],
+"row": {...}}``.  Bit-identity means the decoded records compare equal
+**and** canonicalize to the same JSON — including each row dict's key
+order, which both codecs preserve explicitly (``shapes``).  Non-finite
+floats are canonicalized to ``null`` at the write boundary by the store;
+the loaders here refuse ``NaN``/``Infinity`` tokens loudly instead of
+letting strict parsers drop those lines as torn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+MANIFEST_NAME = "manifest.json"
+ROWS_NAME = "rows.jsonl"
+
+#: Codec names, in preference order when both are writable.
+CODEC_PARQUET = "parquet"
+CODEC_JSON = "json-columns"
+
+PARQUET_NAME = "rows.parquet"
+JSON_COLUMNS_NAME = "rows.columns.json"
+
+_FORMAT = "repro-columnar"
+_VERSION = 1
+
+Record = Dict[str, Any]
+
+
+class NonFiniteRowError(ValueError):
+    """A stored row contains ``NaN``/``Infinity`` — the write boundary
+    canonicalizes these to ``null``, so their presence means a writer
+    bypassed :meth:`RunStore.write_row` (or predates the canonical
+    format); refusing beats strict parsers silently dropping the line."""
+
+
+class CompactionError(RuntimeError):
+    """Compaction could not produce a verified-lossless columnar copy."""
+
+
+@dataclass(frozen=True)
+class ColumnarInfo:
+    """Metadata of one run's columnar file."""
+
+    codec: str
+    filename: str
+    rows: int
+    source_digest: str
+
+    def as_manifest_block(self) -> Dict[str, Any]:
+        return {"codec": self.codec, "file": self.filename,
+                "rows": self.rows, "source_digest": self.source_digest}
+
+
+def pyarrow_ok() -> bool:
+    """Whether the Parquet codec is available (pyarrow importable)."""
+    try:
+        import pyarrow  # noqa: F401
+        import pyarrow.parquet  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _reject_non_finite(token: str) -> Any:
+    raise NonFiniteRowError(
+        f"non-finite JSON constant {token!r} in stored rows; the store "
+        f"canonicalizes NaN/Infinity to null at the write boundary — "
+        f"rewrite the offending line (or recompute the run)")
+
+
+def parse_record_line(line: str) -> Record:
+    """Parse one jsonl record line, refusing non-finite float tokens."""
+    return json.loads(line, parse_constant=_reject_non_finite)
+
+
+def read_jsonl_records(rows_path: str) -> List[Record]:
+    """The tolerant line-by-line parse of ``rows.jsonl``.
+
+    Blank and torn (unparseable) lines are skipped — a killed run leaves
+    at most one torn *final* line, and the fault injector's torn-write
+    model relies on intact recovery lines following torn ones.  Lines
+    carrying ``NaN``/``Infinity`` raise :class:`NonFiniteRowError`
+    instead of being mistaken for torn lines and dropped.
+    """
+    records: List[Record] = []
+    if not os.path.exists(rows_path):
+        return records
+    with open(rows_path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = parse_record_line(line)
+            except json.JSONDecodeError:
+                continue
+            records.append(record)
+    return records
+
+
+def records_to_rows(records: Sequence[Record]) -> List[Dict[str, Any]]:
+    """Data rows in cell order, last write per cell key winning."""
+    from repro.experiments.base import cell_key_id
+
+    by_key: Dict[str, Tuple[int, Dict[str, Any]]] = {}
+    for record in records:
+        by_key[cell_key_id(record["key"])] = \
+            (record["index"], record["row"])
+    return [row for _, row in
+            sorted(by_key.values(), key=lambda item: item[0])]
+
+
+def source_digest(rows_path: str) -> Optional[str]:
+    """SHA-256 of the raw ``rows.jsonl`` bytes (None when absent).
+
+    Any append — a resume writing new cells, a torn recovery line —
+    changes the digest, which is exactly the staleness signal the read
+    path needs.
+    """
+    if not os.path.exists(rows_path):
+        return None
+    digest = hashlib.sha256()
+    with open(rows_path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Column layout shared by both codecs.
+# ----------------------------------------------------------------------
+def _column_layout(records: Sequence[Record]):
+    """(columns, shapes, values) for the records' row dicts.
+
+    ``columns`` is the union of row keys in first-seen order.  ``shapes``
+    is ``None`` when every row holds exactly ``columns`` in that order
+    (the common case: one experiment, one schema); otherwise it is a
+    per-row list of column indices preserving each row's own key order,
+    which is what makes the reconstruction bit-identical for
+    heterogeneous runs (fuzz campaigns, schema evolutions).
+    """
+    columns: List[str] = []
+    seen: Dict[str, int] = {}
+    row_keys: List[List[str]] = []
+    for record in records:
+        keys = list(record["row"].keys())
+        row_keys.append(keys)
+        for key in keys:
+            if key not in seen:
+                seen[key] = len(columns)
+                columns.append(key)
+    uniform = all(keys == columns for keys in row_keys)
+    shapes = None if uniform else \
+        [[seen[key] for key in keys] for keys in row_keys]
+    values: Dict[str, List[Any]] = {column: [] for column in columns}
+    for record in records:
+        row = record["row"]
+        for column in columns:
+            values[column].append(row.get(column))
+    return columns, shapes, values
+
+
+def _rebuild_records(index: List[int], keys: List[List[Any]],
+                     columns: List[str], shapes: Optional[List[List[int]]],
+                     values: Dict[str, List[Any]]) -> List[Record]:
+    records: List[Record] = []
+    for i in range(len(index)):
+        if shapes is None:
+            row = {column: values[column][i] for column in columns}
+        else:
+            row = {columns[j]: values[columns[j]][i] for j in shapes[i]}
+        records.append({"index": index[i], "key": keys[i], "row": row})
+    return records
+
+
+# ----------------------------------------------------------------------
+# JSON-columns codec (zero extra dependencies).
+# ----------------------------------------------------------------------
+def _write_json_columns(run_dir: str, records: Sequence[Record],
+                        digest: str) -> str:
+    columns, shapes, values = _column_layout(records)
+    header = {"format": _FORMAT, "version": _VERSION, "codec": CODEC_JSON,
+              "rows": len(records), "source_digest": digest}
+    payload = {"index": [record["index"] for record in records],
+               "keys": [record["key"] for record in records],
+               "columns": columns, "shapes": shapes, "values": values}
+    path = os.path.join(run_dir, JSON_COLUMNS_NAME)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        # Two lines: metadata first, so freshness checks never parse the
+        # (potentially huge) payload.
+        json.dump(header, handle, sort_keys=True, allow_nan=False)
+        handle.write("\n")
+        json.dump(payload, handle, allow_nan=False)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def _read_json_columns_header(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.loads(handle.readline())
+
+
+def _read_json_columns(path: str) -> List[Record]:
+    with open(path) as handle:
+        handle.readline()  # metadata line
+        payload = json.loads(handle.readline(),
+                             parse_constant=_reject_non_finite)
+    return _rebuild_records(payload["index"], payload["keys"],
+                            payload["columns"], payload["shapes"],
+                            payload["values"])
+
+
+# ----------------------------------------------------------------------
+# Parquet codec (pyarrow, optional).
+# ----------------------------------------------------------------------
+def _parquet_column_type(values: Sequence[Any]) -> str:
+    """Native parquet type for a column, or "json" to string-encode it.
+
+    Only *uniformly typed* scalar columns go native — promoting a mixed
+    int/float column to double would silently turn ``5`` into ``5.0`` on
+    read-back, which the bit-identity contract forbids.
+    """
+    kinds = set()
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            kinds.add("bool")
+        elif isinstance(value, int):
+            kinds.add("int")
+            if not -(1 << 63) <= value < (1 << 63):
+                return "json"
+        elif isinstance(value, float):
+            kinds.add("float")
+        elif isinstance(value, str):
+            kinds.add("str")
+        else:
+            return "json"
+        if len(kinds) > 1:
+            return "json"
+    return kinds.pop() if kinds else "null"
+
+
+def _write_parquet(run_dir: str, records: Sequence[Record],
+                   digest: str) -> str:
+    import pyarrow as pa
+    import pyarrow.parquet as pq
+
+    columns, shapes, values = _column_layout(records)
+    arrow_types = {"bool": pa.bool_(), "int": pa.int64(),
+                   "float": pa.float64(), "str": pa.string(),
+                   "null": pa.null()}
+    json_columns: List[str] = []
+    arrays: List[Any] = [
+        pa.array([record["index"] for record in records], type=pa.int64()),
+        pa.array([json.dumps(record["key"], allow_nan=False)
+                  for record in records], type=pa.string()),
+    ]
+    names = ["__index__", "__key__"]
+    for column in columns:
+        kind = _parquet_column_type(values[column])
+        if kind == "json":
+            json_columns.append(column)
+            encoded = [None if value is None
+                       else json.dumps(value, allow_nan=False)
+                       for value in values[column]]
+            arrays.append(pa.array(encoded, type=pa.string()))
+        else:
+            arrays.append(pa.array(values[column],
+                                   type=arrow_types[kind]))
+        names.append(column)
+    metadata = {"format": _FORMAT, "version": _VERSION,
+                "codec": CODEC_PARQUET, "rows": len(records),
+                "source_digest": digest, "columns": columns,
+                "shapes": shapes, "json_columns": json_columns}
+    table = pa.Table.from_arrays(arrays, names=names)
+    table = table.replace_schema_metadata(
+        {b"repro_columnar": json.dumps(metadata,
+                                       allow_nan=False).encode("utf-8")})
+    path = os.path.join(run_dir, PARQUET_NAME)
+    tmp_path = path + ".tmp"
+    pq.write_table(table, tmp_path)
+    os.replace(tmp_path, path)
+    return path
+
+
+def _read_parquet_header(path: str) -> Optional[Dict[str, Any]]:
+    import pyarrow.parquet as pq
+
+    schema = pq.read_schema(path)
+    raw = (schema.metadata or {}).get(b"repro_columnar")
+    return None if raw is None else json.loads(raw.decode("utf-8"))
+
+
+def _read_parquet(path: str) -> List[Record]:
+    import pyarrow.parquet as pq
+
+    table = pq.read_table(path)
+    metadata = _read_parquet_header(path)
+    if metadata is None:
+        raise CompactionError(f"{path} carries no repro_columnar metadata")
+    data = {name: table.column(name).to_pylist()
+            for name in table.column_names}
+    json_columns = set(metadata["json_columns"])
+    values: Dict[str, List[Any]] = {}
+    for column in metadata["columns"]:
+        cells = data[column]
+        if column in json_columns:
+            cells = [None if cell is None
+                     else json.loads(cell,
+                                     parse_constant=_reject_non_finite)
+                     for cell in cells]
+        values[column] = cells
+    keys = [json.loads(cell, parse_constant=_reject_non_finite)
+            for cell in data["__key__"]]
+    return _rebuild_records(data["__index__"], keys, metadata["columns"],
+                            metadata["shapes"], values)
+
+
+# ----------------------------------------------------------------------
+# The compaction entry points.
+# ----------------------------------------------------------------------
+_CODEC_FILES = {CODEC_PARQUET: PARQUET_NAME, CODEC_JSON: JSON_COLUMNS_NAME}
+_WRITERS = {CODEC_PARQUET: _write_parquet, CODEC_JSON: _write_json_columns}
+_READERS = {CODEC_PARQUET: _read_parquet, CODEC_JSON: _read_json_columns}
+
+
+def default_codec() -> str:
+    return CODEC_PARQUET if pyarrow_ok() else CODEC_JSON
+
+
+def canonical_record_dump(record: Record) -> str:
+    """The canonical serialized form bit-identity is judged against."""
+    return json.dumps(record, sort_keys=True, allow_nan=False)
+
+
+def _verify_lossless(records: Sequence[Record],
+                     decoded: Sequence[Record]) -> Optional[str]:
+    """None when decoded reproduces records exactly, else a description."""
+    if len(decoded) != len(records):
+        return f"row count {len(decoded)} != source {len(records)}"
+    for i, (want, got) in enumerate(zip(records, decoded)):
+        if want != got or \
+                canonical_record_dump(want) != canonical_record_dump(got):
+            return (f"record {i} diverged: "
+                    f"source={canonical_record_dump(want)[:200]} "
+                    f"columnar={canonical_record_dump(got)[:200]}")
+    return None
+
+
+def compact_run(run_dir: str,
+                codec: Optional[str] = None) -> Optional[ColumnarInfo]:
+    """Compact one run's jsonl rows into a verified columnar copy.
+
+    Returns the resulting :class:`ColumnarInfo`, or ``None`` when the run
+    has no ``rows.jsonl`` yet.  The written file is decoded and compared
+    against the jsonl records before being accepted; a Parquet write
+    whose round-trip is not bit-identical (or whose writer raises) falls
+    back to the dependency-free JSON codec.  A JSON-codec failure raises
+    :class:`CompactionError` — it has no fallback, and keeping a wrong
+    columnar copy is never an option.
+    """
+    rows_path = os.path.join(run_dir, ROWS_NAME)
+    digest = source_digest(rows_path)
+    if digest is None:
+        return None
+    records = read_jsonl_records(rows_path)
+    if codec is None:
+        codec = default_codec()
+    if codec not in _CODEC_FILES:
+        raise ValueError(f"unknown columnar codec {codec!r}; "
+                         f"known: {sorted(_CODEC_FILES)}")
+    attempts = [codec] if codec == CODEC_JSON else [codec, CODEC_JSON]
+    last_error: Optional[str] = None
+    for attempt in attempts:
+        path = os.path.join(run_dir, _CODEC_FILES[attempt])
+        try:
+            _WRITERS[attempt](run_dir, records, digest)
+            mismatch = _verify_lossless(records, _READERS[attempt](path))
+        except (CompactionError, NonFiniteRowError):
+            raise
+        except Exception as error:  # noqa: BLE001 - codec fallback boundary
+            mismatch = f"{type(error).__name__}: {error}"
+        if mismatch is None:
+            _drop_other_codecs(run_dir, keep=attempt)
+            return ColumnarInfo(codec=attempt,
+                                filename=_CODEC_FILES[attempt],
+                                rows=len(records), source_digest=digest)
+        if os.path.exists(path):
+            os.remove(path)
+        last_error = f"{attempt} codec not lossless: {mismatch}"
+        if attempt != attempts[-1]:
+            warnings.warn(f"{run_dir}: {last_error}; falling back to the "
+                          f"{CODEC_JSON} codec", RuntimeWarning,
+                          stacklevel=2)
+    raise CompactionError(f"{run_dir}: {last_error}")
+
+
+def _drop_other_codecs(run_dir: str, keep: str) -> None:
+    """Remove stale columnar files of the codecs not just written."""
+    for codec, filename in _CODEC_FILES.items():
+        if codec == keep:
+            continue
+        path = os.path.join(run_dir, filename)
+        if os.path.exists(path):
+            os.remove(path)
+
+
+def columnar_info(run_dir: str) -> Optional[ColumnarInfo]:
+    """Metadata of the run's columnar file, reading headers only."""
+    parquet_path = os.path.join(run_dir, PARQUET_NAME)
+    if os.path.exists(parquet_path) and pyarrow_ok():
+        try:
+            header = _read_parquet_header(parquet_path)
+        except Exception:  # noqa: BLE001 - corrupt file = no columnar copy
+            header = None
+        if header is not None:
+            return ColumnarInfo(codec=CODEC_PARQUET, filename=PARQUET_NAME,
+                                rows=header["rows"],
+                                source_digest=header["source_digest"])
+    json_path = os.path.join(run_dir, JSON_COLUMNS_NAME)
+    if os.path.exists(json_path):
+        try:
+            header = _read_json_columns_header(json_path)
+        except (OSError, ValueError):
+            return None
+        if header.get("format") == _FORMAT:
+            return ColumnarInfo(codec=CODEC_JSON,
+                                filename=JSON_COLUMNS_NAME,
+                                rows=header["rows"],
+                                source_digest=header["source_digest"])
+    return None
+
+
+def read_records(run_dir: str) -> Tuple[List[Record], str]:
+    """Read a run's records through the fastest *correct* path.
+
+    Returns ``(records, source)`` where ``source`` names the path taken:
+    the columnar codec when a fresh copy exists, ``"jsonl"`` otherwise
+    (no columnar file, stale after a resume, or a decode failure — the
+    jsonl parse is always the ground truth).
+    """
+    rows_path = os.path.join(run_dir, ROWS_NAME)
+    info = columnar_info(run_dir)
+    if info is not None:
+        digest = source_digest(rows_path)
+        if digest == info.source_digest:
+            path = os.path.join(run_dir, info.filename)
+            try:
+                return _READERS[info.codec](path), info.codec
+            except NonFiniteRowError:
+                raise
+            except Exception as error:  # noqa: BLE001 - fall back to truth
+                warnings.warn(
+                    f"{path}: columnar read failed ({error}); falling "
+                    f"back to rows.jsonl", RuntimeWarning, stacklevel=2)
+    return read_jsonl_records(rows_path), "jsonl"
+
+
+__all__ = [
+    "CODEC_JSON",
+    "CODEC_PARQUET",
+    "ColumnarInfo",
+    "CompactionError",
+    "JSON_COLUMNS_NAME",
+    "NonFiniteRowError",
+    "PARQUET_NAME",
+    "Record",
+    "canonical_record_dump",
+    "columnar_info",
+    "compact_run",
+    "default_codec",
+    "parse_record_line",
+    "pyarrow_ok",
+    "read_jsonl_records",
+    "read_records",
+    "records_to_rows",
+    "source_digest",
+]

@@ -1,0 +1,285 @@
+"""SQL over every stored run: the ``repro query`` backend.
+
+:func:`mount_store` flattens the whole results store into two logical
+tables:
+
+* ``rows`` — one record per stored data row, with the owning run's
+  manifest fields joined in as columns (``experiment``, ``run_id``,
+  ``seed``, ``backend``, ``completed``, ``wall_time_seconds``,
+  ``params`` and ``run_health`` as JSON text, ``health_failures``), plus
+  the row's cell identity (``cell``, ``row_index``) and every column of
+  the row itself.
+* ``runs`` — one record per run directory (the manifest summary, with
+  ``row_count`` taken from the rows actually readable on disk, not from
+  the manifest — a debounced manifest may lag a killed run by a few
+  rows).
+
+Reading goes through :func:`repro.results.columnar.read_records`, so a
+compacted store scans at columnar speed, and through
+:func:`repro.results.store.scan_runs`, so corrupt run directories are
+skipped with a warning instead of bricking every query.
+
+:func:`run_query` executes SQL against those tables with DuckDB when it
+is importable (each experiment additionally mounted as a view:
+``SELECT * FROM E2 ...``), and otherwise through the dependency-free
+subset evaluator in :mod:`repro.results.minisql`.  Both engines see the
+same mounted data — the engines differ only in SQL coverage.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.results.store import scan_runs
+
+#: Manifest-derived columns of the ``rows`` table, in order.  A row
+#: column with the same name (e.g. the experiments' own ``experiment``
+#: field) overwrites the joined value — for real data they agree.
+ROW_META_COLUMNS = (
+    "experiment", "run_id", "seed", "backend", "completed",
+    "wall_time_seconds", "params", "run_health", "health_failures",
+    "cell", "row_index",
+)
+
+RUNS_COLUMNS = (
+    "experiment", "run_id", "seed", "backend", "completed",
+    "wall_time_seconds", "row_count", "columnar_codec",
+    "health_failures", "params",
+)
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+_RESERVED_TABLES = {"rows", "runs"}
+
+
+class QueryError(ValueError):
+    """A query that cannot be executed (bad SQL, unknown table...)."""
+
+
+@dataclass
+class MountedStore:
+    """The results store flattened into queryable tables."""
+
+    tables: Dict[str, List[Dict[str, Any]]]
+    columns: Dict[str, List[str]]
+    experiments: List[str] = field(default_factory=list)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.tables["rows"])
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One executed query: labelled columns, tuple rows, engine used."""
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    engine: str
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def duckdb_ok() -> bool:
+    """Whether the DuckDB engine is available."""
+    try:
+        import duckdb  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _health_failures(manifest: Mapping[str, Any]) -> int:
+    block = manifest.get("run_health") or {}
+    return len(block.get("failures", []) or [])
+
+
+def mount_store(root: str,
+                experiment: Optional[str] = None) -> MountedStore:
+    """Flatten every loadable run under ``root`` into rows/runs tables."""
+    rows_table: List[Dict[str, Any]] = []
+    runs_table: List[Dict[str, Any]] = []
+    row_columns: List[str] = list(ROW_META_COLUMNS)
+    seen_columns = set(row_columns)
+    experiments: List[str] = []
+    for run_dir, manifest, records in scan_runs(root,
+                                                experiment=experiment):
+        run_id = run_dir.rstrip("/").rsplit("/", 1)[-1]
+        name = manifest["experiment"]
+        if name not in experiments:
+            experiments.append(name)
+        params_json = json.dumps(manifest.get("params"), sort_keys=True,
+                                 allow_nan=False)
+        health_json = json.dumps(manifest.get("run_health"),
+                                 sort_keys=True, allow_nan=False)
+        meta = {
+            "experiment": name,
+            "run_id": run_id,
+            "seed": manifest.get("seed"),
+            "backend": manifest.get("backend"),
+            "completed": bool(manifest.get("completed")),
+            "wall_time_seconds": manifest.get("wall_time_seconds"),
+            "params": params_json,
+            "run_health": health_json,
+            "health_failures": _health_failures(manifest),
+        }
+        columnar = manifest.get("columnar") or {}
+        runs_table.append({
+            **{key: meta[key] for key in
+               ("experiment", "run_id", "seed", "backend", "completed",
+                "wall_time_seconds", "params", "health_failures")},
+            "row_count": len(records),
+            "columnar_codec": columnar.get("codec"),
+        })
+        for record in records:
+            flattened = dict(meta)
+            flattened["cell"] = json.dumps(record["key"],
+                                           allow_nan=False)
+            flattened["row_index"] = record["index"]
+            for column, value in record["row"].items():
+                if column not in seen_columns:
+                    seen_columns.add(column)
+                    row_columns.append(column)
+                if isinstance(value, (dict, list)):
+                    value = json.dumps(value, sort_keys=True,
+                                       allow_nan=False)
+                flattened[column] = value
+            rows_table.append(flattened)
+    return MountedStore(
+        tables={"rows": rows_table, "runs": runs_table},
+        columns={"rows": row_columns, "runs": list(RUNS_COLUMNS)},
+        experiments=experiments)
+
+
+# ----------------------------------------------------------------------
+# DuckDB engine.
+# ----------------------------------------------------------------------
+def _duckdb_type(values: Sequence[Any]) -> str:
+    kinds = set()
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            kinds.add("BOOLEAN")
+        elif isinstance(value, int):
+            kinds.add("BIGINT")
+        elif isinstance(value, float):
+            kinds.add("DOUBLE")
+        else:
+            return "VARCHAR"
+    if not kinds:
+        return "VARCHAR"
+    if kinds == {"BIGINT", "DOUBLE"}:
+        return "DOUBLE"
+    if len(kinds) > 1:
+        return "VARCHAR"
+    return kinds.pop()
+
+
+def _duckdb_cell(value: Any, declared: str) -> Any:
+    if value is None or declared != "VARCHAR" or isinstance(value, str):
+        return value
+    return json.dumps(value, sort_keys=True, allow_nan=False)
+
+
+def _run_duckdb(store: MountedStore, sql: str) -> QueryResult:
+    import duckdb
+
+    connection = _duckdb_connection(store)
+    try:
+        cursor = connection.execute(sql)
+        columns = [entry[0] for entry in cursor.description]
+        rows = [tuple(row) for row in cursor.fetchall()]
+    except duckdb.Error as error:
+        raise QueryError(f"duckdb rejected the query: {error}") from error
+    finally:
+        connection.close()
+    return QueryResult(columns=columns, rows=rows, engine="duckdb")
+
+
+def _duckdb_connection(store: MountedStore):
+    import duckdb
+
+    connection = duckdb.connect(":memory:")
+    for table, columns in store.columns.items():
+        rows = store.tables[table]
+        types = {column: _duckdb_type([row.get(column) for row in rows])
+                 for column in columns}
+        declaration = ", ".join(f'"{column}" {types[column]}'
+                                for column in columns)
+        connection.execute(f"CREATE TABLE {table} ({declaration})")
+        if rows:
+            placeholders = ", ".join("?" for _ in columns)
+            connection.executemany(
+                f"INSERT INTO {table} VALUES ({placeholders})",
+                [tuple(_duckdb_cell(row.get(column), types[column])
+                       for column in columns) for row in rows])
+    for name in store.experiments:
+        if _IDENTIFIER_RE.match(name) and \
+                name.lower() not in _RESERVED_TABLES:
+            connection.execute(
+                f'CREATE VIEW "{name}" AS SELECT * FROM rows '
+                f"WHERE experiment = '{name}'")  # vetted identifier
+    return connection
+
+
+def _run_fallback(store: MountedStore, sql: str) -> QueryResult:
+    from repro.results.minisql import MiniSQLError, execute
+
+    tables = dict(store.tables)
+    columns = dict(store.columns)
+    for name in store.experiments:
+        if _IDENTIFIER_RE.match(name) and \
+                name.lower() not in {key.lower() for key in tables}:
+            tables[name] = [row for row in store.tables["rows"]
+                            if row.get("experiment") == name]
+            columns[name] = store.columns["rows"]
+    try:
+        labels, rows = execute(sql, tables, columns)
+    except MiniSQLError as error:
+        raise QueryError(str(error)) from error
+    return QueryResult(columns=labels, rows=rows, engine="fallback")
+
+
+def resolve_engine(engine: str = "auto") -> str:
+    """Pick the concrete engine for a requested engine name."""
+    if engine not in ("auto", "duckdb", "fallback"):
+        raise QueryError(f"unknown query engine {engine!r}; "
+                         f"choose auto, duckdb or fallback")
+    if engine == "duckdb" and not duckdb_ok():
+        raise QueryError("duckdb is not installed; install the "
+                         "'analytics' extra or use --engine fallback")
+    if engine == "auto":
+        return "duckdb" if duckdb_ok() else "fallback"
+    return engine
+
+
+def query_store(store: MountedStore, sql: str,
+                engine: str = "auto") -> QueryResult:
+    """Execute SQL against an already-mounted store."""
+    resolved = resolve_engine(engine)
+    if resolved == "duckdb":
+        return _run_duckdb(store, sql)
+    return _run_fallback(store, sql)
+
+
+def run_query(root: str, sql: str, engine: str = "auto") -> QueryResult:
+    """Mount every run under ``root`` and execute one query."""
+    return query_store(mount_store(root), sql, engine=engine)
+
+
+__all__ = [
+    "MountedStore",
+    "QueryError",
+    "QueryResult",
+    "ROW_META_COLUMNS",
+    "RUNS_COLUMNS",
+    "duckdb_ok",
+    "mount_store",
+    "query_store",
+    "resolve_engine",
+    "run_query",
+]

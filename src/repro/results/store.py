@@ -11,6 +11,9 @@ Layout::
     results/E2/1a2b3c4d5e6f/
         manifest.json   # experiment, params, seed, workers, wall time, ...
         rows.jsonl      # one {"index", "key", "row"} object per data row
+        rows.parquet    # columnar copy (or rows.columns.json), written
+                        # by finish() and verified lossless — see
+                        # repro.results.columnar
 
 Rows stream to ``rows.jsonl`` the moment their cell completes (the file is
 flushed per line), so a killed run keeps everything it finished.  On
@@ -18,17 +21,34 @@ rerun, :meth:`RunStore.completed_rows` feeds the already-stored rows back
 to :meth:`repro.experiments.base.Experiment.run`, which skips those cells.
 Synthetic finalizer rows (the E2/E4 exponential fits) are *never* stored;
 they are recomputed from the data rows when a run is rendered.
+
+Two write-boundary guarantees hold for every stored line: values are
+canonical strict JSON (non-finite floats become ``null`` — ``NaN`` in a
+line would be rejected as torn by strict readers, silently dropping the
+row on resume), and the manifest rewrite that keeps ``row_count`` fresh
+is *debounced* (at most once per :data:`MANIFEST_EVERY_ROWS` rows or
+:data:`MANIFEST_MIN_INTERVAL` seconds) so ingest is not dominated by
+O(rows) whole-manifest rewrites.  Reopening a run always rewrites an
+exact manifest, so a killed run's count is corrected the moment anything
+looks at it through the store.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import time
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 from repro.experiments.base import Row, RowStore, cell_key_id
+from repro.results.columnar import (ColumnarInfo, CompactionError,
+                                    columnar_info, compact_run,
+                                    read_jsonl_records, read_records,
+                                    records_to_rows)
 from repro.runner.health import (RunHealth, empty_health_block,
                                  merge_health_block)
 
@@ -36,12 +56,19 @@ MANIFEST_NAME = "manifest.json"
 ROWS_NAME = "rows.jsonl"
 _DIGEST_LENGTH = 12
 
+#: Manifest-rewrite debounce: flush the row count at most once per this
+#: many rows...
+MANIFEST_EVERY_ROWS = 64
+#: ...or once this many seconds have passed since the last rewrite,
+#: whichever comes first.  finish()/record_health()/open() always write.
+MANIFEST_MIN_INTERVAL = 1.0
+
 
 def params_digest(experiment: str, params: Mapping[str, Any]) -> str:
     """Content digest identifying one (experiment, params) configuration."""
     canonical = json.dumps({"experiment": experiment,
                             "params": _jsonable(params)},
-                           sort_keys=True)
+                           sort_keys=True, allow_nan=False)
     return hashlib.sha256(canonical.encode("utf-8")) \
         .hexdigest()[:_DIGEST_LENGTH]
 
@@ -53,11 +80,15 @@ def run_directory(root: str, experiment: str,
 
 
 def _jsonable(value: Any) -> Any:
-    """Params as plain JSON data (tuples become lists)."""
+    """Canonical strict-JSON data: tuples become lists, non-finite
+    floats become None (strict parsers reject ``NaN``/``Infinity``
+    tokens, so they must never reach a stored line)."""
     if isinstance(value, Mapping):
         return {str(key): _jsonable(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [_jsonable(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
     return value
 
 
@@ -81,10 +112,14 @@ class RunStore(RowStore):
         os.makedirs(self.path, exist_ok=True)
         self._created_at: Optional[str] = None
         self._health_block: Optional[Dict[str, Any]] = None
+        self._columnar_block: Optional[Dict[str, Any]] = None
+        self._rows_since_manifest = 0
+        self._last_manifest_write = 0.0
         if os.path.exists(self._manifest_path):
             manifest = self.manifest
             self._created_at = manifest.get("created_at")
             self._health_block = manifest.get("run_health")
+            self._columnar_block = manifest.get("columnar")
             stored_backend = manifest.get("backend")
             if backend is None:
                 # A read-only open keeps whatever the run recorded.
@@ -119,7 +154,9 @@ class RunStore(RowStore):
 
     def write_row(self, index: int, key: Sequence[Any], row: Row) -> None:
         key_id = cell_key_id(key)
-        payload = json.dumps({"index": index, "key": list(key), "row": row})
+        record = {"index": index, "key": _jsonable(list(key)),
+                  "row": _jsonable(row)}
+        payload = json.dumps(record, allow_nan=False)
         with open(self._rows_path, "a") as handle:
             if self._fault_injector is not None and \
                     self._fault_injector.decide_torn(key_id):
@@ -132,9 +169,15 @@ class RunStore(RowStore):
                     self._health.torn_writes += 1
             handle.write(payload + "\n")
             handle.flush()
-        self._rows[key_id] = (index, row)
-        # Keep row_count current so a killed run's manifest is accurate.
-        self._write_manifest(completed=False, wall_time=None)
+        self._rows[key_id] = (record["index"], record["row"])
+        # Keep row_count reasonably current for a killed run without an
+        # O(rows) whole-manifest rewrite per row: debounced, and exact
+        # again at the next open()/finish().
+        self._rows_since_manifest += 1
+        if self._rows_since_manifest >= MANIFEST_EVERY_ROWS or \
+                time.monotonic() - self._last_manifest_write \
+                >= MANIFEST_MIN_INTERVAL:
+            self._write_manifest(completed=False, wall_time=None)
 
     def record_health(self, health: Optional[RunHealth]) -> None:
         """Fold one execution's health ledger into the manifest.
@@ -149,8 +192,24 @@ class RunStore(RowStore):
                              wall_time=self._manifest_wall_time())
 
     # -- completion ---------------------------------------------------
-    def finish(self, wall_time: float) -> None:
-        """Mark the run complete and record its wall time."""
+    def finish(self, wall_time: float, compact: bool = True) -> None:
+        """Mark the run complete, record its wall time, and compact.
+
+        Compaction (:func:`repro.results.columnar.compact_run`) rewrites
+        the jsonl rows into a verified-lossless columnar copy for the
+        query layer; a compaction failure is reported as a warning and
+        never fails the run — ``rows.jsonl`` remains the ground truth.
+        """
+        if compact:
+            try:
+                info = compact_run(self.path)
+            except (CompactionError, OSError) as error:
+                warnings.warn(f"{self.path}: columnar compaction failed "
+                              f"({error}); queries will scan rows.jsonl",
+                              RuntimeWarning, stacklevel=2)
+                info = None
+            self._columnar_block = \
+                info.as_manifest_block() if info else None
         self._write_manifest(completed=True, wall_time=wall_time)
 
     # -- artifacts ----------------------------------------------------
@@ -180,6 +239,11 @@ class RunStore(RowStore):
     def row_count(self) -> int:
         return len(self._rows)
 
+    @property
+    def columnar(self) -> Optional[ColumnarInfo]:
+        """The run's columnar copy, when one exists on disk."""
+        return columnar_info(self.path)
+
     # -- internals ----------------------------------------------------
     @property
     def _manifest_path(self) -> str:
@@ -200,21 +264,12 @@ class RunStore(RowStore):
         return self.manifest.get("wall_time_seconds")
 
     def _load_existing(self) -> None:
-        if not os.path.exists(self._rows_path):
-            return
-        with open(self._rows_path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # A run killed mid-write leaves a torn final line;
-                    # everything before it is still good.
-                    continue
-                self._rows[cell_key_id(record["key"])] = \
-                    (record["index"], record["row"])
+        # The write-side load always parses rows.jsonl (the append-only
+        # ground truth) — resume must see rows written *after* the last
+        # compaction, so the columnar copy is only a read-path artifact.
+        for record in read_jsonl_records(self._rows_path):
+            self._rows[cell_key_id(record["key"])] = \
+                (record["index"], record["row"])
 
     def _write_manifest(self, completed: bool,
                         wall_time: Optional[float]) -> None:
@@ -233,30 +288,67 @@ class RunStore(RowStore):
             "completed": completed,
             "wall_time_seconds": wall_time,
             "row_count": len(self._rows),
+            "columnar": self._columnar_block,
             "run_health": self._health_block if self._health_block
             is not None else empty_health_block(),
         }
         tmp_path = self._manifest_path + ".tmp"
         with open(tmp_path, "w") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
+            json.dump(manifest, handle, indent=2, sort_keys=True,
+                      allow_nan=False)
             handle.write("\n")
         os.replace(tmp_path, self._manifest_path)
+        self._rows_since_manifest = 0
+        self._last_manifest_write = time.monotonic()
+
+
+def read_manifest(run_dir: str) -> Dict[str, Any]:
+    """A run directory's manifest, validated just enough to be usable.
+
+    Raises:
+        FileNotFoundError: no ``manifest.json`` in ``run_dir`` (also the
+            verdict for a stray *file* posing as a run directory — no
+            raw ``NotADirectoryError`` escapes).
+        ValueError: the manifest is unparseable or has no ``experiment``
+            field.
+    """
+    manifest_path = os.path.join(run_dir, MANIFEST_NAME)
+    if not os.path.isfile(manifest_path):
+        raise FileNotFoundError(
+            f"{run_dir!r} is not a run directory (no {MANIFEST_NAME})")
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"unreadable manifest at {manifest_path}: {error}") from error
+    if not isinstance(manifest, dict) or "experiment" not in manifest:
+        raise ValueError(
+            f"manifest at {manifest_path} has no 'experiment' field")
+    return manifest
 
 
 def load_run(path: str) -> Tuple[Dict[str, Any], List[Row]]:
-    """Load a stored run: (manifest, data rows in cell order)."""
-    manifest_path = os.path.join(path, MANIFEST_NAME)
-    with open(manifest_path) as handle:
-        manifest = json.load(handle)
-    store = RunStore(path, manifest["experiment"], manifest["params"],
-                     workers=manifest.get("workers"))
-    return store.manifest, store.rows()
+    """Load a stored run: (manifest, data rows in cell order).
+
+    Reads through the columnar copy when a fresh one exists (see
+    :func:`repro.results.columnar.read_records`), so rendering large
+    stored runs does not pay the line-by-line jsonl parse.
+    """
+    manifest = read_manifest(path)
+    records, _ = read_records(path)
+    return manifest, records_to_rows(records)
 
 
 def list_runs(root: str,
               experiment: Optional[str] = None) -> List[str]:
     """Run directories under ``root`` (optionally one experiment's),
-    newest manifest first."""
+    newest manifest first.
+
+    Stray files and unreadable directories under the results root are
+    skipped (with a warning for the unreadable ones) — one piece of
+    debris must never brick every reader of the store.
+    """
     if experiment:
         experiment_dirs = [os.path.join(root, experiment)]
     elif os.path.isdir(root):
@@ -268,17 +360,50 @@ def list_runs(root: str,
     for experiment_dir in experiment_dirs:
         if not os.path.isdir(experiment_dir):
             continue
-        for digest in sorted(os.listdir(experiment_dir)):
+        try:
+            digests = sorted(os.listdir(experiment_dir))
+        except OSError as error:
+            warnings.warn(f"skipping unreadable results directory "
+                          f"{experiment_dir}: {error}", RuntimeWarning,
+                          stacklevel=2)
+            continue
+        for digest in digests:
             run_dir = os.path.join(experiment_dir, digest)
             manifest = os.path.join(run_dir, MANIFEST_NAME)
-            if os.path.isfile(manifest):
+            try:
+                if not os.path.isfile(manifest):
+                    continue
                 # Filesystem mtimes have coarse resolution, so two runs
                 # written back-to-back can tie; the digest breaks the tie
                 # deterministically instead of leaving the order to
                 # directory-listing accidents.
                 runs.append((os.path.getmtime(manifest), digest, run_dir))
+            except OSError as error:
+                warnings.warn(f"skipping unreadable run directory "
+                              f"{run_dir}: {error}", RuntimeWarning,
+                              stacklevel=2)
     runs.sort(reverse=True)
     return [run_dir for _, _, run_dir in runs]
+
+
+def scan_runs(root: str, experiment: Optional[str] = None
+              ) -> Iterator[Tuple[str, Dict[str, Any], List[Dict[str, Any]]]]:
+    """Iterate every loadable run: ``(run_dir, manifest, records)``.
+
+    The query/report layer's mount path: corrupt manifests, stray files
+    and unreadable rows are skipped with a warning instead of raising,
+    so one damaged run directory cannot take ``repro query`` down for
+    the whole store.
+    """
+    for run_dir in list_runs(root, experiment=experiment):
+        try:
+            manifest = read_manifest(run_dir)
+            records, _ = read_records(run_dir)
+        except (OSError, ValueError, KeyError) as error:
+            warnings.warn(f"skipping unloadable run {run_dir}: {error}",
+                          RuntimeWarning, stacklevel=2)
+            continue
+        yield run_dir, manifest, records
 
 
 def latest_run(root: str, experiment: str) -> Optional[str]:
@@ -299,12 +424,16 @@ def latest_run(root: str, experiment: str) -> Optional[str]:
 
 
 __all__ = [
+    "MANIFEST_EVERY_ROWS",
+    "MANIFEST_MIN_INTERVAL",
     "MANIFEST_NAME",
     "ROWS_NAME",
     "RunStore",
     "params_digest",
     "run_directory",
+    "read_manifest",
     "load_run",
     "list_runs",
     "latest_run",
+    "scan_runs",
 ]

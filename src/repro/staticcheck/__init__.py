@@ -16,7 +16,8 @@ Check families (see ``STATIC_ANALYSIS.md`` for the full catalog):
 * **R** — registry: every concrete adversary/protocol is registered and
   exercised by a scenario.
 * **S** — serialization/perf: hot-path classes keep ``__slots__``;
-  trial specs stay picklable.
+  trial specs stay picklable; results-layer JSON writes refuse
+  non-finite floats.
 * **F** — fault tolerance: the resilient executor may catch broadly,
   but every broad handler re-raises or records the failure.
 

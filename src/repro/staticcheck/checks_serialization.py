@@ -13,6 +13,15 @@
   runs with ``--workers > 0``.  The check flags lambdas in ``TrialSpec``
   field defaults and in the arguments of ``TrialSpec(...)``
   construction sites anywhere in the tree.
+
+* **S3** — strict JSON in the results layer.  Python's ``json.dumps``
+  happily emits ``NaN``/``Infinity`` tokens by default, which are not
+  JSON: the store's own loaders (and any columnar or SQL reader) reject
+  them.  The store canonicalizes non-finite floats to ``null`` at the
+  write boundary, and every ``json.dump(s)`` call under ``results/``
+  must pass ``allow_nan=False`` so a non-finite value that slips past
+  canonicalization fails loudly at write time instead of poisoning the
+  file.
 """
 
 from __future__ import annotations
@@ -38,6 +47,9 @@ declaration from accidental removal.
 
 TRIAL_SPEC_FILE = "runner/spec.py"
 TRIAL_SPEC_CLASS = "TrialSpec"
+
+STRICT_JSON_PREFIX = "results/"
+"""Tree prefix whose ``json.dump(s)`` calls must pass allow_nan=False."""
 
 
 def check_serialization(project: ProjectFiles,
@@ -100,7 +112,35 @@ def check_serialization(project: ProjectFiles,
                                     "unpicklable under --workers > 0; "
                                     "use a module-level function"))
 
+    # S3: every json.dump(s) in the results layer is strict about
+    # non-finite floats.
+    for relpath in sorted(project.files):
+        if not relpath.startswith(STRICT_JSON_PREFIX):
+            continue
+        source = project.files[relpath]
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in ("dump", "dumps")
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "json"):
+                continue
+            strict = any(
+                keyword.arg == "allow_nan"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+                for keyword in node.keywords)
+            if not strict:
+                findings.append(Finding(
+                    code="S3", path=relpath, line=node.lineno,
+                    message=f"json.{func.attr} in the results layer "
+                            "without allow_nan=False; the default emits "
+                            "NaN/Infinity tokens the store's loaders "
+                            "reject"))
+
     return findings
 
 
-__all__ = ["SLOTS_MANIFEST", "check_serialization"]
+__all__ = ["SLOTS_MANIFEST", "STRICT_JSON_PREFIX", "check_serialization"]

@@ -47,6 +47,9 @@ CHECK_CODES: Dict[str, str] = {
     # S — serialization/perf contracts on the hot path.
     "S1": "hot-path class in the slots manifest lost __slots__",
     "S2": "unpicklable value (lambda / local def) reaches a TrialSpec",
+    "S3": "json.dump/json.dumps in the results layer without "
+          "allow_nan=False (would emit non-standard NaN/Infinity "
+          "tokens)",
     # F — fault tolerance: the resilient executor may catch broadly, but
     # never swallow.
     "F1": "broad except on the execution path that neither re-raises nor "

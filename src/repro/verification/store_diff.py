@@ -1,0 +1,229 @@
+"""Differential harness: columnar read-back against the jsonl truth.
+
+The columnar layer (:mod:`repro.results.columnar`) is fast precisely
+because it re-encodes the store's rows — which is why, like the batched
+execution engine, it must never be trusted on its own.  ``rows.jsonl``
+is the ground truth; this harness holds every compacted run to it:
+
+* :func:`diff_run` — read one run through both paths (the tolerant
+  line-by-line jsonl parse, and the columnar decode) and compare record
+  by record, both structurally and as canonical JSON (so a dict whose
+  key *order* changed counts as a mismatch — bit-identity, not mere
+  equality).  Runs whose columnar copy is stale (rows were appended
+  since compaction — a resume across the boundary) are reported as
+  ``stale`` rather than compared; optionally the harness recompacts
+  them first.
+* :func:`diff_root` — every run under a results root.
+* ``python -m repro.verification.store_diff`` — the CI smoke entry:
+  run experiments' quick grids through the store, compact, and verify
+  the round-trip, exiting non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.results.columnar import (canonical_record_dump, columnar_info,
+                                    compact_run, read_jsonl_records,
+                                    read_records, source_digest)
+from repro.results.store import ROWS_NAME, list_runs
+
+
+@dataclass
+class RunDiff:
+    """Outcome of the differential read of one run directory."""
+
+    run_dir: str
+    status: str  # "ok" | "mismatch" | "stale" | "uncompacted"
+    codec: Optional[str] = None
+    rows: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class StoreDiffReport:
+    """Aggregated outcome across a results root."""
+
+    runs: List[RunDiff] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(run.status in ("ok", "uncompacted")
+                   for run in self.runs)
+
+    @property
+    def compared_rows(self) -> int:
+        return sum(run.rows for run in self.runs if run.ok)
+
+    def summary(self) -> str:
+        by_status: Dict[str, int] = {}
+        for run in self.runs:
+            by_status[run.status] = by_status.get(run.status, 0) + 1
+        rendered = ", ".join(f"{status}={count}" for status, count
+                             in sorted(by_status.items()))
+        verdict = "OK" if self.ok else "MISMATCH"
+        return (f"{len(self.runs)} run(s) [{rendered}], "
+                f"{self.compared_rows} rows compared bit-for-bit: "
+                f"{verdict}")
+
+
+def _compare_records(jsonl: Sequence[Dict[str, Any]],
+                     columnar: Sequence[Dict[str, Any]]) -> List[str]:
+    problems: List[str] = []
+    if len(jsonl) != len(columnar):
+        problems.append(f"row count: jsonl={len(jsonl)} "
+                        f"columnar={len(columnar)}")
+    for i, (want, got) in enumerate(zip(jsonl, columnar)):
+        if want != got:
+            problems.append(f"record {i} structurally diverged: "
+                            f"jsonl={want!r} columnar={got!r}")
+        elif canonical_record_dump(want) != canonical_record_dump(got):
+            problems.append(f"record {i} canonical JSON diverged "
+                            f"(key order or float identity)")
+        if len(problems) >= 10:
+            problems.append("... (further mismatches suppressed)")
+            break
+    return problems
+
+
+def diff_run(run_dir: str, recompact: bool = False) -> RunDiff:
+    """Differentially read one run through both store paths."""
+    info = columnar_info(run_dir)
+    rows_path = os.path.join(run_dir, ROWS_NAME)
+    if info is None:
+        if not recompact:
+            return RunDiff(run_dir=run_dir, status="uncompacted")
+        info = compact_run(run_dir)
+        if info is None:
+            return RunDiff(run_dir=run_dir, status="uncompacted")
+    if info.source_digest != source_digest(rows_path):
+        if not recompact:
+            return RunDiff(run_dir=run_dir, status="stale",
+                           codec=info.codec)
+        info = compact_run(run_dir)
+    jsonl_records = read_jsonl_records(rows_path)
+    columnar_records, source = read_records(run_dir)
+    if source == "jsonl":
+        # read_records refusing the columnar copy after a recompaction
+        # means the copy is unreadable — that is a failure, not a skip.
+        return RunDiff(run_dir=run_dir, status="mismatch",
+                       codec=info.codec,
+                       mismatches=["columnar copy unreadable; "
+                                   "read_records fell back to jsonl"])
+    problems = _compare_records(jsonl_records, columnar_records)
+    return RunDiff(run_dir=run_dir,
+                   status="ok" if not problems else "mismatch",
+                   codec=source, rows=len(jsonl_records),
+                   mismatches=problems)
+
+
+def diff_root(root: str, recompact: bool = False) -> StoreDiffReport:
+    """Differentially read every run directory under ``root``."""
+    report = StoreDiffReport()
+    for run_dir in list_runs(root):
+        report.runs.append(diff_run(run_dir, recompact=recompact))
+    return report
+
+
+def run_and_diff_experiments(names: Sequence[str], root: str,
+                             quick: bool = True,
+                             codec: Optional[str] = None,
+                             ) -> Tuple[StoreDiffReport, List[str]]:
+    """Run experiments through the store, compact, and verify.
+
+    The CI smoke path: every named experiment's (quick) grid executes
+    through a :class:`~repro.results.store.RunStore` under ``root``
+    (resuming whatever is already there), ``finish()`` compacts, and the
+    differential read must come back bit-identical.  Returns the report
+    plus the run directories it produced.
+    """
+    import time
+
+    from repro.experiments import get_experiment
+    from repro.results.store import RunStore
+
+    run_dirs: List[str] = []
+    for name in names:
+        experiment = get_experiment(name)
+        params = experiment.resolve_params(None, quick=quick)
+        store = RunStore.open(root, experiment.name, params, workers=0)
+        # repro: allow[D2] -- manifest wall-time bookkeeping, not trial logic
+        started = time.time()
+        experiment.run(params=params, workers=0, store=store)
+        # repro: allow[D2] -- manifest wall-time bookkeeping, not trial logic
+        store.finish(wall_time=time.time() - started)
+        if codec is not None:
+            compact_run(store.path, codec=codec)
+        run_dirs.append(store.path)
+    report = StoreDiffReport()
+    for run_dir in run_dirs:
+        report.runs.append(diff_run(run_dir))
+    return report, run_dirs
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CI entry point: prove jsonl -> columnar compaction lossless."""
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verification.store_diff",
+        description="Re-read compacted runs through both store paths "
+                    "(line-by-line jsonl, columnar decode) and assert "
+                    "bit-identical records.")
+    parser.add_argument("--root", default=None,
+                        help="verify the runs already stored under this "
+                             "results root (default: run --experiments "
+                             "into a temporary root instead)")
+    parser.add_argument("--experiments", nargs="+", default=["E1", "E2"],
+                        help="experiments to run+compact+verify when no "
+                             "--root is given (default: E1 E2)")
+    parser.add_argument("--quick", action="store_true",
+                        help="use the quick (smoke-sized) parameter grid")
+    parser.add_argument("--codec", default=None,
+                        choices=(None, "parquet", "json-columns"),
+                        help="force a compaction codec (default: parquet "
+                             "when pyarrow is installed)")
+    parser.add_argument("--recompact", action="store_true",
+                        help="with --root: recompact stale/uncompacted "
+                             "runs before comparing")
+    args = parser.parse_args(argv)
+
+    if args.root is not None:
+        report = diff_root(args.root, recompact=args.recompact)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-store-diff-") \
+                as root:
+            report, _ = run_and_diff_experiments(
+                args.experiments, root, quick=args.quick,
+                codec=args.codec)
+            print(report.summary())
+            for run in report.runs:
+                for problem in run.mismatches:
+                    print(f"  MISMATCH {run.run_dir}: {problem}")
+            return 0 if report.ok else 1
+    print(report.summary())
+    for run in report.runs:
+        for problem in run.mismatches:
+            print(f"  MISMATCH {run.run_dir}: {problem}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())
+
+
+__all__ = [
+    "RunDiff",
+    "StoreDiffReport",
+    "diff_root",
+    "diff_run",
+    "run_and_diff_experiments",
+    "main",
+]

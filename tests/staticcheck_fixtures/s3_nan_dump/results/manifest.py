@@ -1,0 +1,8 @@
+"""S3 fixture: a results-layer json.dumps without allow_nan=False."""
+
+import json
+
+
+def write_manifest(path, manifest):
+    with open(path, "w") as handle:
+        handle.write(json.dumps(manifest, indent=2, sort_keys=True))

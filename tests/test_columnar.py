@@ -1,0 +1,258 @@
+"""Columnar compaction tests: losslessness, staleness, resume boundary."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.results import RunStore, run_directory
+from repro.results.columnar import (CODEC_JSON, CODEC_PARQUET,
+                                    JSON_COLUMNS_NAME, CompactionError,
+                                    NonFiniteRowError, canonical_record_dump,
+                                    columnar_info, compact_run,
+                                    default_codec, pyarrow_ok,
+                                    read_jsonl_records, read_records,
+                                    records_to_rows, source_digest)
+
+E2_PARAMS = {"ns": (12, 16), "trials": 1, "max_windows": 200000,
+             "use_resets": True, "seed": 9}
+
+
+def _write_records(run_dir, records):
+    os.makedirs(run_dir, exist_ok=True)
+    with open(os.path.join(run_dir, "rows.jsonl"), "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, allow_nan=False) + "\n")
+
+
+def _synthetic_records():
+    # Mixed shapes, mixed types, null-vs-missing, and divergent key
+    # order: everything the bit-identity contract must survive.
+    return [
+        {"index": 0, "key": ["a", 1], "row": {"n": 5, "p": 0.5, "ok": True}},
+        {"index": 1, "key": ["a", 2], "row": {"p": 0.25, "n": 6, "ok": False}},
+        {"index": 2, "key": ["b", 1], "row": {"n": 7, "extra": None}},
+        {"index": 3, "key": ["b", 2],
+         "row": {"n": 8, "nested": {"z": 1, "a": [1, 2]}, "label": "x"}},
+        {"index": 4, "key": ["c"], "row": {"n": 9, "p": 1}},  # int, not float
+    ]
+
+
+class TestJsonColumnsCodec:
+    def test_roundtrip_is_bit_identical(self, tmp_path):
+        records = _synthetic_records()
+        run_dir = str(tmp_path / "run")
+        _write_records(run_dir, records)
+        info = compact_run(run_dir, codec=CODEC_JSON)
+        assert info.codec == CODEC_JSON
+        assert info.rows == len(records)
+        decoded, source = read_records(run_dir)
+        assert source == CODEC_JSON
+        assert decoded == records
+        assert [canonical_record_dump(record) for record in decoded] == \
+            [canonical_record_dump(record) for record in records]
+        # Key order inside each row survives, not just dict equality.
+        assert [list(record["row"]) for record in decoded] == \
+            [list(record["row"]) for record in records]
+
+    def test_int_float_columns_do_not_promote(self, tmp_path):
+        # "p" holds 0.5 in one row and the int 1 in another; a column
+        # store that promotes to double would return 1.0.
+        run_dir = str(tmp_path / "run")
+        _write_records(run_dir, _synthetic_records())
+        compact_run(run_dir, codec=CODEC_JSON)
+        decoded, _ = read_records(run_dir)
+        value = decoded[4]["row"]["p"]
+        assert value == 1 and isinstance(value, int)
+
+    def test_header_line_carries_metadata(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        _write_records(run_dir, _synthetic_records())
+        compact_run(run_dir, codec=CODEC_JSON)
+        with open(os.path.join(run_dir, JSON_COLUMNS_NAME)) as handle:
+            header = json.loads(handle.readline())
+        assert header["codec"] == CODEC_JSON
+        assert header["rows"] == 5
+        assert header["source_digest"] == source_digest(
+            os.path.join(run_dir, "rows.jsonl"))
+
+    def test_empty_run_dir_compacts_to_none(self, tmp_path):
+        assert compact_run(str(tmp_path)) is None
+        assert columnar_info(str(tmp_path)) is None
+
+    def test_unknown_codec_rejected(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        _write_records(run_dir, _synthetic_records())
+        with pytest.raises(ValueError, match="unknown columnar codec"):
+            compact_run(run_dir, codec="feather")
+
+
+class TestStaleness:
+    def test_appended_rows_invalidate_the_copy(self, tmp_path):
+        records = _synthetic_records()
+        run_dir = str(tmp_path / "run")
+        _write_records(run_dir, records)
+        compact_run(run_dir, codec=CODEC_JSON)
+        extra = {"index": 5, "key": ["d"], "row": {"n": 10}}
+        with open(os.path.join(run_dir, "rows.jsonl"), "a") as handle:
+            handle.write(json.dumps(extra, allow_nan=False) + "\n")
+        decoded, source = read_records(run_dir)
+        assert source == "jsonl"  # stale copy refused
+        assert decoded == records + [extra]
+        # Recompaction freshens it again.
+        info = compact_run(run_dir, codec=CODEC_JSON)
+        assert info.rows == 6
+        decoded, source = read_records(run_dir)
+        assert source == CODEC_JSON
+        assert decoded == records + [extra]
+
+    def test_corrupt_copy_falls_back_to_jsonl(self, tmp_path):
+        records = _synthetic_records()
+        run_dir = str(tmp_path / "run")
+        _write_records(run_dir, records)
+        compact_run(run_dir, codec=CODEC_JSON)
+        path = os.path.join(run_dir, JSON_COLUMNS_NAME)
+        with open(path) as handle:
+            header = handle.readline()
+        with open(path, "w") as handle:
+            handle.write(header)
+            handle.write("{broken payload\n")
+        with pytest.warns(RuntimeWarning, match="columnar read failed"):
+            decoded, source = read_records(run_dir)
+        assert source == "jsonl"
+        assert decoded == records
+
+
+class TestNonFiniteRows:
+    def test_nan_line_raises_instead_of_dropping(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        os.makedirs(run_dir)
+        rows_path = os.path.join(run_dir, "rows.jsonl")
+        with open(rows_path, "w") as handle:
+            handle.write('{"index": 0, "key": ["a"], "row": {"x": NaN}}\n')
+        with pytest.raises(NonFiniteRowError, match="NaN"):
+            read_jsonl_records(rows_path)
+
+    def test_torn_lines_still_skipped(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        records = _synthetic_records()[:2]
+        _write_records(run_dir, records)
+        rows_path = os.path.join(run_dir, "rows.jsonl")
+        with open(rows_path, "a") as handle:
+            handle.write('{"index": 9, "key": ["torn"')
+        assert read_jsonl_records(rows_path) == records
+
+    def test_compaction_refuses_non_finite_sources(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        os.makedirs(run_dir)
+        with open(os.path.join(run_dir, "rows.jsonl"), "w") as handle:
+            handle.write('{"index": 0, "key": ["a"], '
+                         '"row": {"x": Infinity}}\n')
+        with pytest.raises(NonFiniteRowError):
+            compact_run(run_dir, codec=CODEC_JSON)
+
+
+class TestCompactionThroughTheStore:
+    def test_finish_compacts_and_records_manifest_block(self, tmp_path):
+        experiment = get_experiment("E8")
+        params = experiment.resolve_params(
+            {"cs": (0.1,), "ns": (50,), "seed": 3})
+        store = RunStore.open(str(tmp_path), "E8", params, workers=0)
+        experiment.run(params=params, store=store)
+        store.finish(wall_time=0.1)
+        block = store.manifest["columnar"]
+        assert block["codec"] == default_codec()
+        assert block["rows"] == store.row_count
+        info = columnar_info(store.path)
+        assert info is not None
+        assert info.source_digest == block["source_digest"]
+        decoded, source = read_records(store.path)
+        assert source == block["codec"]
+        assert records_to_rows(decoded) == store.rows()
+
+    def test_kill_resume_across_compaction_boundary(self, tmp_path):
+        """compact -> resume -> recompact == uninterrupted serial run."""
+        experiment = get_experiment("E2")
+        params = experiment.resolve_params(E2_PARAMS)
+        reference = experiment.run(params=params, workers=0)
+
+        path = run_directory(str(tmp_path), "E2", params)
+        killed = _KillAfter(path, "E2", params, kill_after=1)
+        with pytest.raises(KeyboardInterrupt):
+            experiment.run(params=params, workers=0, store=killed)
+        # The partial run gets compacted (a reader pass, say a query,
+        # triggered it) before anyone resumes.
+        info = compact_run(path)
+        assert info.rows == 1
+
+        resumed = RunStore.open(str(tmp_path), "E2", params, workers=0)
+        rows = experiment.run(params=params, workers=0, store=resumed)
+        # Mid-resume the columnar copy is stale; reads must serve jsonl.
+        decoded, source = read_records(path)
+        assert source == "jsonl"
+        assert records_to_rows(decoded) == resumed.rows()
+        resumed.finish(wall_time=0.2)
+
+        assert rows == reference
+        decoded, source = read_records(path)
+        assert source != "jsonl"  # recompacted and fresh again
+        assert records_to_rows(decoded) == \
+            records_to_rows(read_jsonl_records(
+                os.path.join(path, "rows.jsonl")))
+        # No duplicate cells leaked through the boundary.
+        keys = [json.dumps(record["key"]) for record in decoded]
+        assert len(keys) == len(set(keys))
+
+    def test_compaction_failure_never_fails_the_run(self, tmp_path,
+                                                    monkeypatch):
+        import repro.results.store as store_module
+
+        def exploding_compact(run_dir, codec=None):
+            raise CompactionError("simulated codec failure")
+
+        monkeypatch.setattr(store_module, "compact_run", exploding_compact)
+        experiment = get_experiment("E8")
+        params = experiment.resolve_params(
+            {"cs": (0.1,), "ns": (50,), "seed": 3})
+        store = RunStore.open(str(tmp_path), "E8", params, workers=0)
+        experiment.run(params=params, store=store)
+        with pytest.warns(RuntimeWarning, match="compaction failed"):
+            store.finish(wall_time=0.1)
+        assert store.manifest["completed"] is True
+        assert store.manifest["columnar"] is None
+        decoded, source = read_records(store.path)
+        assert source == "jsonl"
+        assert records_to_rows(decoded) == store.rows()
+
+
+@pytest.mark.skipif(not pyarrow_ok(), reason="pyarrow not installed")
+class TestParquetCodec:
+    def test_roundtrip_is_bit_identical(self, tmp_path):
+        records = _synthetic_records()
+        run_dir = str(tmp_path / "run")
+        _write_records(run_dir, records)
+        info = compact_run(run_dir, codec=CODEC_PARQUET)
+        assert info.codec == CODEC_PARQUET
+        decoded, source = read_records(run_dir)
+        assert source == CODEC_PARQUET
+        assert decoded == records
+        assert [canonical_record_dump(record) for record in decoded] == \
+            [canonical_record_dump(record) for record in records]
+
+    def test_default_codec_prefers_parquet(self):
+        assert default_codec() == CODEC_PARQUET
+
+
+class _KillAfter(RunStore):
+    """A store that dies (like SIGKILL mid-run) after N row writes."""
+
+    def __init__(self, *args, kill_after, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._writes_left = kill_after
+
+    def write_row(self, index, key, row):
+        if self._writes_left == 0:
+            raise KeyboardInterrupt("killed mid-run")
+        self._writes_left -= 1
+        super().write_row(index, key, row)

@@ -168,6 +168,19 @@ class TestResume:
                               store=rerun_store) == reference
         assert executed == []
 
+    def test_resume_sees_rows_written_after_compaction(self, tmp_path):
+        # The columnar copy must never feed resume: only rows.jsonl can,
+        # or rows appended after the last compaction would recompute.
+        experiment = get_experiment("E8")
+        params = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 1})
+        store = RunStore.open(str(tmp_path), "E8", params)
+        experiment.run(params=params, store=store)
+        store.finish(wall_time=0.1)
+        store.write_row(99, ["extra-cell"], {"n": 1})
+        reopened = RunStore.open(str(tmp_path), "E8", params)
+        assert reopened.row_count == store.row_count
+        assert "extra-cell" in str(reopened.completed_rows())
+
     def test_torn_final_line_is_ignored(self, tmp_path):
         experiment = get_experiment("E8")
         params = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 1})
@@ -180,3 +193,153 @@ class TestResume:
         assert reopened.rows() == rows
         # And the resumed run completes the table without the torn cell.
         assert experiment.run(params=params, store=reopened) == rows
+
+
+class TestManifestDebounce:
+    def _store(self, tmp_path):
+        params = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 1})
+        return RunStore.open(str(tmp_path), "E8", params, workers=0)
+
+    def test_row_writes_do_not_rewrite_the_manifest_each_time(
+            self, tmp_path, monkeypatch):
+        from repro.results import store as store_module
+
+        store = self._store(tmp_path)
+        # Freeze the clock so only the row-count threshold can trigger.
+        frozen = store._last_manifest_write
+        monkeypatch.setattr(store_module.time, "monotonic",
+                            lambda: frozen)
+        threshold = store_module.MANIFEST_EVERY_ROWS
+        for i in range(threshold - 1):
+            store.write_row(i, [f"cell-{i}"], {"n": i})
+        assert store.manifest["row_count"] == 0  # still the open() write
+        store.write_row(threshold - 1, ["cell-last"], {"n": threshold})
+        assert store.manifest["row_count"] == threshold
+
+    def test_elapsed_time_also_flushes(self, tmp_path, monkeypatch):
+        from repro.results import store as store_module
+
+        store = self._store(tmp_path)
+        clock = [store._last_manifest_write]
+        monkeypatch.setattr(store_module.time, "monotonic",
+                            lambda: clock[0])
+        store.write_row(0, ["cell-0"], {"n": 0})
+        assert store.manifest["row_count"] == 0
+        clock[0] += store_module.MANIFEST_MIN_INTERVAL
+        store.write_row(1, ["cell-1"], {"n": 1})
+        assert store.manifest["row_count"] == 2
+
+    def test_reopen_corrects_a_lagging_count(self, tmp_path, monkeypatch):
+        from repro.results import store as store_module
+
+        store = self._store(tmp_path)
+        frozen = store._last_manifest_write
+        monkeypatch.setattr(store_module.time, "monotonic",
+                            lambda: frozen)
+        for i in range(5):
+            store.write_row(i, [f"cell-{i}"], {"n": i})
+        assert store.manifest["row_count"] == 0  # lagging, killed here
+        params = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 1})
+        reopened = RunStore.open(str(tmp_path), "E8", params)
+        assert reopened.manifest["row_count"] == 5
+
+    def test_finish_writes_an_exact_manifest(self, tmp_path, monkeypatch):
+        from repro.results import store as store_module
+
+        store = self._store(tmp_path)
+        frozen = store._last_manifest_write
+        monkeypatch.setattr(store_module.time, "monotonic",
+                            lambda: frozen)
+        for i in range(3):
+            store.write_row(i, [f"cell-{i}"], {"n": i})
+        store.finish(wall_time=0.5)
+        manifest = store.manifest
+        assert manifest["row_count"] == 3
+        assert manifest["completed"] is True
+
+
+class TestNonFiniteCanonicalization:
+    def test_write_row_stores_non_finite_floats_as_null(self, tmp_path):
+        params = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 1})
+        store = RunStore.open(str(tmp_path), "E8", params)
+        store.write_row(0, ["cell"], {"good": 0.5, "nan": float("nan"),
+                                      "inf": float("inf"),
+                                      "nested": {"x": float("-inf")}})
+        line = open(os.path.join(store.path, "rows.jsonl")).readline()
+        assert "NaN" not in line and "Infinity" not in line
+        stored = json.loads(line)["row"]
+        assert stored == {"good": 0.5, "nan": None, "inf": None,
+                          "nested": {"x": None}}
+        # The resumed view agrees with the stored form.
+        reopened = RunStore.open(str(tmp_path), "E8", params)
+        assert reopened.rows() == [stored]
+
+    def test_non_finite_params_canonicalized_in_manifest(self, tmp_path):
+        params = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 1})
+        params["threshold"] = float("inf")
+        store = RunStore.open(str(tmp_path), "E8", params)
+        assert store.manifest["params"]["threshold"] is None
+
+    def test_loader_rejects_raw_nan_lines_loudly(self, tmp_path):
+        from repro.results.columnar import NonFiniteRowError
+
+        params = _resolved("E8", {"cs": (0.1,), "ns": (50,), "seed": 1})
+        store = RunStore.open(str(tmp_path), "E8", params)
+        store.write_row(0, ["cell"], {"n": 1})
+        with open(os.path.join(store.path, "rows.jsonl"), "a") as handle:
+            handle.write('{"index": 1, "key": ["bad"], '
+                         '"row": {"x": NaN}}\n')
+        # A pre-canonicalization line is an error, not a torn line to
+        # silently drop on resume.
+        with pytest.raises(NonFiniteRowError):
+            RunStore.open(str(tmp_path), "E8", params)
+
+
+class TestStoreRobustness:
+    def _finished_run(self, tmp_path, seed=1):
+        experiment = get_experiment("E8")
+        params = _resolved("E8", {"cs": (0.1,), "ns": (50,),
+                                  "seed": seed})
+        store = RunStore.open(str(tmp_path), "E8", params)
+        experiment.run(params=params, store=store)
+        store.finish(wall_time=0.1)
+        return store
+
+    def test_stray_files_do_not_brick_listing(self, tmp_path):
+        store = self._finished_run(tmp_path)
+        (tmp_path / "notes.txt").write_text("a stray root file\n")
+        (tmp_path / "E8" / "download.partial").write_text("debris\n")
+        assert list_runs(str(tmp_path)) == [store.path]
+        assert latest_run(str(tmp_path), "E8") == store.path
+
+    def test_load_run_on_a_stray_file_raises_cleanly(self, tmp_path):
+        stray = tmp_path / "E8"
+        stray.parent.mkdir(exist_ok=True)
+        stray.write_text("not a directory\n")
+        with pytest.raises(FileNotFoundError, match="not a run directory"):
+            load_run(str(stray))
+
+    def test_corrupt_manifest_skipped_with_warning(self, tmp_path):
+        from repro.results import scan_runs
+
+        good = self._finished_run(tmp_path, seed=1)
+        broken = tmp_path / "E8" / "corrupt000000"
+        broken.mkdir()
+        (broken / "manifest.json").write_text("{definitely not json\n")
+        headless = tmp_path / "E8" / "headless00000"
+        headless.mkdir()
+        (headless / "manifest.json").write_text('{"seed": 1}\n')
+        with pytest.warns(RuntimeWarning, match="skipping unloadable"):
+            scanned = list(scan_runs(str(tmp_path)))
+        assert [run_dir for run_dir, _, _ in scanned] == [good.path]
+
+    def test_load_run_reports_manifest_without_experiment(self, tmp_path):
+        run_dir = tmp_path / "E8" / "headless00000"
+        run_dir.mkdir(parents=True)
+        (run_dir / "manifest.json").write_text('{"seed": 1}\n')
+        with pytest.raises(ValueError, match="no 'experiment' field"):
+            load_run(str(run_dir))
+
+    def test_listing_a_missing_root_is_empty(self, tmp_path):
+        assert list_runs(str(tmp_path / "nowhere")) == []
+        assert latest_run(str(tmp_path / "nowhere"), "E8") is None

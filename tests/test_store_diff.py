@@ -1,0 +1,120 @@
+"""Differential-harness tests: columnar read-back vs the jsonl truth."""
+
+import json
+import os
+
+from repro.experiments import get_experiment
+from repro.results import RunStore
+from repro.results.columnar import JSON_COLUMNS_NAME, compact_run
+from repro.verification.store_diff import (diff_root, diff_run, main,
+                                           run_and_diff_experiments)
+
+
+def _finished_run(tmp_path, seed=1):
+    experiment = get_experiment("E8")
+    params = experiment.resolve_params(
+        {"cs": (0.1,), "ns": (50,), "seed": seed})
+    store = RunStore.open(str(tmp_path), "E8", params, workers=0)
+    experiment.run(params=params, store=store)
+    store.finish(wall_time=0.1)
+    return store
+
+
+def _tamper_columnar_value(run_dir):
+    """Flip one stored value inside the columnar payload, leaving the
+    header (and its freshness digest) intact."""
+    path = os.path.join(run_dir, JSON_COLUMNS_NAME)
+    with open(path) as handle:
+        header = handle.readline()
+        payload = json.loads(handle.readline())
+    column = next(iter(payload["values"]))
+    payload["values"][column][0] = "tampered"
+    with open(path, "w") as handle:
+        handle.write(header)
+        handle.write(json.dumps(payload, allow_nan=False) + "\n")
+
+
+class TestDiffRun:
+    def test_fresh_compacted_run_is_ok(self, tmp_path):
+        store = _finished_run(tmp_path)
+        diff = diff_run(store.path)
+        assert diff.ok
+        assert diff.rows == store.row_count
+        assert diff.codec is not None
+
+    def test_stale_copy_is_reported_not_compared(self, tmp_path):
+        store = _finished_run(tmp_path)
+        with open(os.path.join(store.path, "rows.jsonl"), "a") as handle:
+            handle.write(json.dumps(
+                {"index": 99, "key": ["late"], "row": {"n": 1}},
+                allow_nan=False) + "\n")
+        diff = diff_run(store.path)
+        assert diff.status == "stale"
+        # ... and recompact=True turns it back into a real comparison.
+        diff = diff_run(store.path, recompact=True)
+        assert diff.ok
+        assert diff.rows == store.row_count + 1
+
+    def test_uncompacted_run_is_skipped_unless_recompacting(
+            self, tmp_path):
+        experiment = get_experiment("E8")
+        params = experiment.resolve_params(
+            {"cs": (0.1,), "ns": (50,), "seed": 1})
+        store = RunStore.open(str(tmp_path), "E8", params, workers=0)
+        experiment.run(params=params, store=store)
+        store.finish(wall_time=0.1, compact=False)
+        assert diff_run(store.path).status == "uncompacted"
+        assert diff_run(store.path, recompact=True).ok
+
+    def test_tampered_copy_is_a_mismatch(self, tmp_path):
+        store = _finished_run(tmp_path)
+        compact_run(store.path, codec="json-columns")
+        _tamper_columnar_value(store.path)
+        diff = diff_run(store.path)
+        assert diff.status == "mismatch"
+        assert diff.mismatches
+
+
+class TestDiffRoot:
+    def test_aggregates_and_summarizes(self, tmp_path):
+        for seed in (1, 2):
+            _finished_run(tmp_path, seed=seed)
+        report = diff_root(str(tmp_path))
+        assert report.ok
+        assert len(report.runs) == 2
+        assert report.compared_rows == 8
+        assert "OK" in report.summary()
+
+    def test_one_tampered_run_fails_the_root(self, tmp_path):
+        good = _finished_run(tmp_path, seed=1)
+        bad = _finished_run(tmp_path, seed=2)
+        compact_run(bad.path, codec="json-columns")
+        _tamper_columnar_value(bad.path)
+        report = diff_root(str(tmp_path))
+        assert not report.ok
+        assert "MISMATCH" in report.summary()
+        by_dir = {run.run_dir: run for run in report.runs}
+        assert by_dir[good.path].ok
+        assert by_dir[bad.path].status == "mismatch"
+
+
+class TestCLI:
+    def test_run_and_diff_experiments(self, tmp_path):
+        report, run_dirs = run_and_diff_experiments(
+            ["E8"], str(tmp_path), quick=True)
+        assert report.ok
+        assert len(run_dirs) == 1
+        assert report.compared_rows > 0
+
+    def test_main_on_existing_root(self, tmp_path, capsys):
+        _finished_run(tmp_path)
+        assert main(["--root", str(tmp_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_main_exits_nonzero_on_mismatch(self, tmp_path, capsys):
+        store = _finished_run(tmp_path)
+        compact_run(store.path, codec="json-columns")
+        _tamper_columnar_value(store.path)
+        assert main(["--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "MISMATCH" in out
