@@ -53,7 +53,9 @@ gathering all live state down to the surviving trials.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -93,6 +95,12 @@ class BatchedWindowEngine:
             :func:`~repro.batched.support.batch_signature`; every spec
             must have passed
             :func:`~repro.batched.support.unsupported_reason`.
+        phase_timers: optional dict accumulating seconds per execution
+            phase (``deliver`` / ``tally`` / ``decide``) — the batched
+            half of a ``--profile`` run's phase split (see
+            :meth:`repro.telemetry.profiler.ProfileSession.phase_dict`).
+            ``perf_counter`` intervals only; never read by the engine,
+            so results stay bit-identical with timers on or off.
 
     Use :meth:`run`; it returns ``(results, quarantined)`` where
     ``results`` holds one :class:`ExecutionResult` per input spec (``None``
@@ -106,8 +114,10 @@ class BatchedWindowEngine:
                 "resets_total", "crash_total", "coin_total", "ch_pack",
                 "ch_pos")
 
-    def __init__(self, specs: Sequence[TrialSpec]) -> None:
+    def __init__(self, specs: Sequence[TrialSpec],
+                 phase_timers: Optional[Dict[str, float]] = None) -> None:
         self.specs: List[TrialSpec] = list(specs)
+        self.phase_timers = phase_timers
         if not self.specs:
             raise ValueError("empty batch")
         first = self.specs[0]
@@ -179,10 +189,25 @@ class BatchedWindowEngine:
     # ------------------------------------------------------------------
     # Main loop.
     # ------------------------------------------------------------------
+    @contextmanager
+    def _phase(self, name: str) -> Iterator[None]:
+        """Accumulate the body's ``perf_counter`` interval under ``name``."""
+        timers = self.phase_timers
+        if timers is None:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            timers[name] = timers.get(name, 0.0) \
+                + (time.perf_counter() - start)
+
     def run(self) -> Tuple[List[Optional[ExecutionResult]], List[int]]:
         """Execute the batch; returns ``(results, quarantined_indices)``."""
         while True:
-            self._finish_ready()
+            with self._phase("decide"):
+                self._finish_ready()
             remaining = int(self.active.sum())
             if remaining == 0:
                 break
@@ -281,6 +306,15 @@ class BatchedWindowEngine:
                 and self._fast_ready():
             self._fast_rt_window(senders, deliver_last)
             return
+        # The general path interleaves sending/delivery/reset work too
+        # tightly to split; it all books under "deliver".
+        with self._phase("deliver"):
+            self._slow_window(senders, deliver_last, resets, crashes)
+
+    def _slow_window(self, senders: Tuple[str, np.ndarray],
+                     deliver_last: Optional[np.ndarray],
+                     resets: Optional[np.ndarray],
+                     crashes: Optional[np.ndarray]) -> None:
         act = self.active.copy()
         act_procs = np.broadcast_to(act[:, None], self.crashed.shape)
 
@@ -373,6 +407,8 @@ class BatchedWindowEngine:
 
     def _fast_rt_window(self, senders: Tuple[str, np.ndarray],
                         deliver_last: Optional[np.ndarray]) -> None:
+        timers = self.phase_timers
+        mark = time.perf_counter() if timers is not None else 0.0
         kernel = self.kernel
         n = self.n
         t1, t2, t3 = kernel.t1, kernel.t2, kernel.t3
@@ -428,6 +464,10 @@ class BatchedWindowEngine:
             deliv_o = deliv
             val_o = est_sent[:, None, :]
             chain_o = chain_sent[:, None, :]
+        if timers is not None:
+            now = time.perf_counter()
+            timers["deliver"] = timers.get("deliver", 0.0) + (now - mark)
+            mark = now
 
         # The first T1 votes in delivery order are the fired tally.
         selected = deliv_o & (np.cumsum(deliv_o, axis=2) <= t1)
@@ -442,6 +482,10 @@ class BatchedWindowEngine:
         all_chain = np.where(deliv_o, chain_o, 0).max(axis=2)
         self.max_chain = np.maximum(pre_chain, all_chain)
         decide_chain = np.maximum(pre_chain, sel_chain)
+        if timers is not None:
+            now = time.perf_counter()
+            timers["tally"] = timers.get("tally", 0.0) + (now - mark)
+            mark = now
 
         # Fire: majority/decide/estimate, exactly _finish_round.
         fire = act_procs & (got >= t1)
@@ -482,6 +526,9 @@ class BatchedWindowEngine:
             & (self.output >= 0).any(axis=1)
         if newly.any():
             self.first_decision[newly] = self.window[newly]
+        if timers is not None:
+            timers["decide"] = timers.get("decide", 0.0) \
+                + (time.perf_counter() - mark)
 
     def _push(self, sending: np.ndarray, rounds: np.ndarray,
               values: np.ndarray, tags: Optional[np.ndarray],

@@ -37,6 +37,12 @@ class BatchedRunner:
         inner: the per-trial runner executing fallback specs; anything
             with ``iter_results(specs)`` yielding one result per spec in
             order (``ParallelRunner``, ``SupervisedRunner``).
+        telemetry: an optional :class:`~repro.telemetry.Telemetry`
+            recorder.  Each vectorized group records one ``batch`` span
+            (per-trial spans would dominate the fast path's budget) and
+            the routing stats mirror into counters; fallback trials are
+            recorded by ``inner`` as usual.  Results are bit-identical
+            with or without it.
 
     Attributes:
         stats: counters over the last :meth:`run`/:meth:`iter_results`
@@ -49,13 +55,19 @@ class BatchedRunner:
             entry here records a degradation, never data loss.
     """
 
-    def __init__(self, inner: Any) -> None:
+    def __init__(self, inner: Any,
+                 telemetry: Optional[Any] = None) -> None:
         self.inner = inner
+        self.telemetry = telemetry
         self.stats: Dict[str, int] = {
             "batched": 0, "fallback": 0, "quarantined": 0,
             "batch_errors": 0}
         self.fallback_reasons: Counter = Counter()
         self.errors: List[Tuple[Tuple[Any, ...], str]] = []
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.count(name, delta)
 
     def run(self, specs: Sequence[TrialSpec]) -> List[Any]:
         """Execute ``specs``; results in submission order."""
@@ -73,6 +85,7 @@ class BatchedRunner:
         results: List[Any] = [None] * len(specs)
         have: List[bool] = [False] * len(specs)
         fallback: List[int] = []
+        reasons_before = Counter(self.fallback_reasons)
 
         groups: Dict[Tuple[Any, ...], List[int]] = {}
         for index, spec in enumerate(specs):
@@ -89,31 +102,41 @@ class BatchedRunner:
                                       f"{MIN_BATCH}"] += 1
                 fallback.extend(members)
                 continue
-            from repro.batched.engine import BatchedWindowEngine
             try:
-                group_results, quarantined = \
-                    BatchedWindowEngine([specs[i] for i in members]).run()
+                group_results, quarantined = self._run_group(
+                    signature, [specs[i] for i in members])
             except Exception as exc:
                 # Record the failure and recover every member through the
                 # per-trial oracle: a batch bug degrades throughput, not
                 # results.
                 self.stats["batch_errors"] += 1
+                self._count("batch_errors")
                 self.errors.append((signature, repr(exc)))
                 self.fallback_reasons["batch engine error"] += len(members)
                 fallback.extend(members)
                 continue
+            delivered = 0
             for local, result in enumerate(group_results):
                 if result is not None:
                     results[members[local]] = result
                     have[members[local]] = True
                     self.stats["batched"] += 1
+                    delivered += 1
+            self._count("trials_batched", delivered)
+            self._count("trials_completed", delivered)
             for local in quarantined:
                 self.stats["quarantined"] += 1
+                self._count("quarantined_mid_batch")
                 self.fallback_reasons["quarantined mid-batch"] += 1
                 fallback.append(members[local])
 
         fallback.sort()
         self.stats["fallback"] += len(fallback)
+        if self.telemetry is not None:
+            self._count("trials_fallback", len(fallback))
+            for reason, total in self.fallback_reasons.items():
+                self._count(f"fallback_reason:{reason}",
+                            total - reasons_before.get(reason, 0))
         recovered = self.inner.iter_results([specs[i] for i in fallback])
         for index in range(len(specs)):
             if not have[index]:
@@ -122,6 +145,30 @@ class BatchedRunner:
                 # stream lines up positionally.
                 results[index] = next(recovered)
             yield results[index]
+
+    def _run_group(self, signature: Tuple[Any, ...],
+                   group: List[TrialSpec]
+                   ) -> Tuple[List[Any], List[int]]:
+        """One vectorized group through the engine, under a ``batch`` span.
+
+        All clock reads stay inside the telemetry layer — the batched
+        backend is determinism-linted code and never reads wall time
+        itself.  Under ``--profile`` the engine additionally fills the
+        session's ``batched.*`` phase timers.
+        """
+        from repro.batched.engine import BatchedWindowEngine
+        from repro.telemetry.profiler import profile_session
+
+        session = profile_session(self.telemetry)
+        timers = session.phase_dict("batched") if session is not None \
+            else None
+        engine = BatchedWindowEngine(group, phase_timers=timers)
+        if self.telemetry is None:
+            return engine.run()
+        with self.telemetry.span(
+                "batch", trials=len(group),
+                signature=[str(part) for part in signature]):
+            return engine.run()
 
 
 __all__ = ["BatchedRunner", "MIN_BATCH"]

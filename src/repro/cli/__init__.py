@@ -9,6 +9,7 @@ Subcommands::
     repro run {EXPERIMENT ... | --all} [--quick] [--workers N]
               [--out DIR | --no-store] [--seed N] [--set key=value ...]
               [--max-retries N] [--trial-timeout S] [--chaos SPEC]
+              [--no-telemetry] [--no-progress] [--profile]
         Run experiments through the registry.  By default every run is
         persisted to the results store under ``--out`` (``results/``), so
         rerunning the same configuration *resumes*: cells whose rows are
@@ -19,9 +20,24 @@ Subcommands::
         take the same three flags).  See "Fault tolerance & chaos
         testing" in PERFORMANCE.md.
 
-    repro show {RUN_DIR | EXPERIMENT} [--out DIR]
+        Campaigns record a per-run ``telemetry.jsonl`` span/metric event
+        log and render a live progress line while running (``repro fuzz``
+        and ``repro search`` too); telemetry never changes result rows.
+        ``--profile`` additionally captures cProfile + phase-timer
+        artifacts under the run's ``profile/`` directory.  See
+        "Telemetry & profiling" in PERFORMANCE.md.
+
+    repro show {RUN_DIR | EXPERIMENT} [--out DIR] [--timing]
         Render a stored run (a run directory, or the latest stored run of
         an experiment) as a table.  Fuzz-campaign runs render too.
+        ``--timing`` appends per-cell trial-duration percentiles and the
+        slowest trial's span tree from the run's telemetry event log.
+
+    repro top {RUN_DIR | EXPERIMENT} [--out DIR] [--interval S] [--once]
+        Tail a (possibly still running) campaign's telemetry event log:
+        progress, trial rate, executor gauges, counters, busiest cells.
+        Refreshes until the run completes; ``--once`` prints a single
+        snapshot for scripts and CI.
 
     repro fuzz [--trials N] [--workers K] [--protocol P] [--seed S]
                [--n N] [--t T] [--minimize] [--out DIR | --no-store]
@@ -49,8 +65,10 @@ Subcommands::
     repro query "SQL" [--out DIR] [--engine {auto,duckdb,fallback}]
                 [--format {table,json,csv}]
         SQL across *every* stored run (``rows``/``runs`` tables, one
-        view per experiment), with each run's manifest fields joined in
-        as columns — experiment, seed, backend, params, run_health.
+        view per experiment, plus ``spans``/``metrics`` tables mounted
+        from each run's telemetry event log), with each run's manifest
+        fields joined in as columns — experiment, seed, backend, params,
+        run_health.
         Scans the columnar copies that ``finish()`` compacts
         (:mod:`repro.results.columnar`), through DuckDB when installed
         (the ``analytics`` extra) and a built-in fallback SQL subset
@@ -85,6 +103,7 @@ import json
 import os
 import sys
 import time
+from contextlib import contextmanager
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.statistics import format_table
@@ -288,6 +307,82 @@ def _finish_store(store: RunStore, cached: int, was_complete: bool,
     return f"; {cached} cached + {computed} computed {unit} -> {store.path}"
 
 
+class _CampaignTiming:
+    """What ``_campaign_timing`` hands the campaign handlers.
+
+    ``telemetry`` goes into the campaign entry point (``None`` with
+    ``--no-telemetry``); ``wall_time`` is set when the context exits.
+    """
+
+    def __init__(self) -> None:
+        self.telemetry = None
+        self.wall_time = 0.0
+
+
+@contextmanager
+def _campaign_timing(args: argparse.Namespace, store, label: str):
+    """Time one campaign and run its telemetry lifecycle.
+
+    The single timing path shared by run/fuzz/search: builds the
+    :class:`~repro.telemetry.Telemetry` recorder (unless
+    ``--no-telemetry``; ``--profile`` forces it on and attaches a
+    :class:`~repro.telemetry.ProfileSession`), points its sink at the
+    run store, opens the root ``campaign`` span, and subscribes the
+    live progress renderer.  On exit — *before* the handler stamps the
+    manifest through ``_finish_store`` — the progress line is cleared,
+    profile artifacts are saved under ``profile/`` in the run
+    directory, and the recorder is flushed and closed, so the final
+    manifest summarizes a fully written event log.
+    """
+    from repro.telemetry import (PROFILE_DIR, ProfileSession,
+                                 ProgressRenderer, Telemetry)
+
+    timing = _CampaignTiming()
+    telemetry = None
+    progress = None
+    if args.profile or not args.no_telemetry:
+        telemetry = Telemetry()
+        if args.profile:
+            telemetry.profile = ProfileSession()
+            telemetry.profile.start()
+        if store is not None:
+            store.attach_telemetry(telemetry)
+        if not args.no_progress:
+            progress = ProgressRenderer(label)
+            telemetry.add_listener(progress)
+    timing.telemetry = telemetry
+    started = time.time()
+    try:
+        if telemetry is not None:
+            with telemetry.span("campaign", label=label):
+                yield timing
+        else:
+            yield timing
+    finally:
+        timing.wall_time = time.time() - started
+        if progress is not None:
+            progress.close()
+        if telemetry is not None:
+            if telemetry.profile is not None:
+                telemetry.profile.stop()
+                if store is not None:
+                    telemetry.profile.save(store.artifact_path(PROFILE_DIR))
+            telemetry.close()
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """The telemetry knobs, shared by run/fuzz/search."""
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="record no telemetry.jsonl event log "
+                             "(results are bit-identical either way)")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="suppress the live progress line")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the campaign (cProfile + phase "
+                             "timers) into the run's profile/ directory; "
+                             "implies telemetry")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.all:
         names = [experiment.name for experiment in available_experiments()]
@@ -317,11 +412,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         store, cached, was_complete = _open_store(
             args, experiment.name, params, fault_injector=injector,
             health=health)
-        started = time.time()
-        rows = experiment.run(params=params, workers=args.workers,
-                              store=store, policy=policy, health=health,
-                              backend=args.backend)
-        wall_time = time.time() - started
+        with _campaign_timing(args, store, f"run {experiment.name}") \
+                as timing:
+            rows = experiment.run(params=params, workers=args.workers,
+                                  store=store, policy=policy,
+                                  health=health, backend=args.backend,
+                                  telemetry=timing.telemetry)
+        wall_time = timing.wall_time
         header = f"== {experiment.name}: {experiment.title} " \
                  f"({wall_time:.1f}s"
         if store is not None:
@@ -335,37 +432,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return exit_code
 
 
-def _cmd_show(args: argparse.Namespace) -> int:
-    target = args.target
+def _resolve_run_dir(command: str, target: str, out: str):
+    """Resolve a run directory or experiment name to ``(run_dir, None)``.
+
+    Shared by ``show`` and ``top``.  On failure returns ``(None,
+    exit_code)`` with the diagnostic already printed.
+    """
     if os.path.isdir(target):
-        run_dir = target
-        if not os.path.isfile(os.path.join(run_dir, "manifest.json")):
-            return _usage_error("show", ValueError(
+        if not os.path.isfile(os.path.join(target, "manifest.json")):
+            return None, _usage_error(command, ValueError(
                 f"{target!r} is not a run directory (no manifest.json); "
                 f"pass a results/<EXPERIMENT>/<digest> directory or an "
                 f"experiment name"))
-    else:
-        if os.sep in target or target.startswith("."):
-            # Path-like but nonexistent: report the missing run id rather
-            # than misdiagnosing it as an unknown experiment name.
-            return _usage_error("show", ValueError(
-                f"no run directory at {target!r}"))
-        try:
-            experiment = get_experiment(target)
-            name = experiment.name
-        except KeyError as error:
-            if target not in (FUZZ_EXPERIMENT, SEARCH_EXPERIMENT):
-                return _usage_error("show", error)
-            name = target  # fuzz/search campaigns are stored runs too
-        found = latest_run(args.out, name)
-        if found is None:
-            hint = (name if name in (FUZZ_EXPERIMENT, SEARCH_EXPERIMENT)
-                    else f"run {name}")
-            print(f"no stored runs of {name} under {args.out!r}; "
-                  f"run `python -m repro {hint}` first",
-                  file=sys.stderr)
-            return 1
-        run_dir = found
+        return target, None
+    if os.sep in target or target.startswith("."):
+        # Path-like but nonexistent: report the missing run id rather
+        # than misdiagnosing it as an unknown experiment name.
+        return None, _usage_error(command, ValueError(
+            f"no run directory at {target!r}"))
+    try:
+        experiment = get_experiment(target)
+        name = experiment.name
+    except KeyError as error:
+        if target not in (FUZZ_EXPERIMENT, SEARCH_EXPERIMENT):
+            return None, _usage_error(command, error)
+        name = target  # fuzz/search campaigns are stored runs too
+    found = latest_run(out, name)
+    if found is None:
+        hint = (name if name in (FUZZ_EXPERIMENT, SEARCH_EXPERIMENT)
+                else f"run {name}")
+        print(f"no stored runs of {name} under {out!r}; "
+              f"run `python -m repro {hint}` first",
+              file=sys.stderr)
+        return None, 1
+    return found, None
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    run_dir, code = _resolve_run_dir("show", args.target, args.out)
+    if run_dir is None:
+        return code
     manifest, rows = load_run(run_dir)
     try:
         experiment = get_experiment(manifest["experiment"])
@@ -393,8 +499,46 @@ def _cmd_show(args: argparse.Namespace) -> int:
         print(f"columnar: {columnar.get('codec')} "
               f"({columnar.get('rows')} rows compacted)")
     _show_manifest_health(manifest)
+    _show_manifest_telemetry(manifest)
     print(format_table(rows))
+    if args.timing:
+        _show_timing(run_dir)
     return 0
+
+
+def _show_timing(run_dir: str) -> None:
+    """The ``show --timing`` section: percentiles + slowest span tree."""
+    from repro.telemetry import TELEMETRY_NAME, read_events
+    from repro.telemetry.timing import (cell_timing_rows,
+                                        render_span_chain,
+                                        slowest_trial_chain)
+
+    events = read_events(os.path.join(run_dir, TELEMETRY_NAME))
+    timing_rows = cell_timing_rows(events)
+    if not timing_rows:
+        print("\nno trial timing recorded for this run "
+              "(was it executed with --no-telemetry?)")
+        return
+    print("\n-- trial timing (telemetry, ms) --")
+    print(format_table(timing_rows))
+    chain = slowest_trial_chain(events)
+    if chain:
+        print("\nslowest trial:")
+        print("\n".join(render_span_chain(chain)))
+
+
+def _show_manifest_telemetry(manifest: Mapping[str, Any]) -> None:
+    """One summary line for a stored run's ``telemetry`` block."""
+    block = manifest.get("telemetry") or {}
+    if not block:
+        return
+    counters = block.get("counters") or {}
+    trials = counters.get("trials_completed")
+    print(f"telemetry: {block.get('spans', 0)} spans, "
+          f"{block.get('events', 0)} events over "
+          f"{block.get('segments', 1)} segment(s)"
+          + (f", {trials:g} trials observed" if trials else "")
+          + " (show --timing for the breakdown)")
 
 
 def _show_manifest_health(manifest: Mapping[str, Any]) -> None:
@@ -411,6 +555,35 @@ def _show_manifest_health(manifest: Mapping[str, Any]) -> None:
     for entry in failures:
         print(f"  failed trial {entry.get('tag')}: {entry.get('error')} "
               f"({entry.get('attempts')} attempts)")
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Tail a campaign's telemetry event log: ``repro top``."""
+    from repro.results.store import read_manifest
+    from repro.telemetry import TELEMETRY_NAME, read_events
+    from repro.telemetry.timing import render_top, top_snapshot
+
+    run_dir, code = _resolve_run_dir("top", args.target, args.out)
+    if run_dir is None:
+        return code
+    interactive = sys.stdout.isatty()
+    while True:
+        try:
+            manifest = read_manifest(run_dir)
+        except (OSError, ValueError):
+            manifest = {}
+        events = read_events(os.path.join(run_dir, TELEMETRY_NAME))
+        snapshot = top_snapshot(events, manifest=manifest)
+        if interactive and not args.once:
+            sys.stdout.write("\x1b[H\x1b[2J")  # home + clear screen
+        print(render_top(snapshot, os.path.basename(run_dir)))
+        if args.once or snapshot.get("completed"):
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print()
+            return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -431,11 +604,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     store, cached, was_complete = _open_store(
         args, FUZZ_EXPERIMENT, params, fault_injector=injector,
         health=health)
-    started = time.time()
-    report = run_fuzz_campaign(params, workers=args.workers, store=store,
-                               minimize=args.minimize, policy=policy,
-                               health=health, backend=args.backend)
-    wall_time = time.time() - started
+    with _campaign_timing(args, store, "fuzz") as timing:
+        report = run_fuzz_campaign(params, workers=args.workers,
+                                   store=store, minimize=args.minimize,
+                                   policy=policy, health=health,
+                                   backend=args.backend,
+                                   telemetry=timing.telemetry)
+    wall_time = timing.wall_time
     header = (f"== fuzz: {params['trials']} trials of "
               f"{params['protocol']} (n={params['n']}, t={params['t']}, "
               f"{params['engine']} engine, seed {params['seed']}; "
@@ -490,11 +665,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
     store, cached, was_complete = _open_store(
         args, SEARCH_EXPERIMENT, params, fault_injector=injector,
         health=health)
-    started = time.time()
-    report = run_search_campaign(params, workers=args.workers, store=store,
-                                 policy=policy, health=health,
-                                 backend=args.backend)
-    wall_time = time.time() - started
+    with _campaign_timing(args, store, "search") as timing:
+        report = run_search_campaign(params, workers=args.workers,
+                                     store=store, policy=policy,
+                                     health=health, backend=args.backend,
+                                     telemetry=timing.telemetry)
+    wall_time = timing.wall_time
     header = (f"== search: {params['strategy']} x "
               f"{params['generations']}x{params['population']} toward "
               f"{params['objective']} on {params['protocol']} "
@@ -710,6 +886,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="override one experiment parameter "
                                  "(repeatable; value is a Python literal)")
     _add_resilience_args(run_parser)
+    _add_observability_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     fuzz_parser = subparsers.add_parser(
@@ -749,6 +926,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument("--no-store", action="store_true",
                              help="print findings only, persist nothing")
     _add_resilience_args(fuzz_parser)
+    _add_observability_args(fuzz_parser)
     fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     search_parser = subparsers.add_parser(
@@ -800,6 +978,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="print the summary only, persist "
                                     "nothing")
     _add_resilience_args(search_parser)
+    _add_observability_args(search_parser)
     search_parser.set_defaults(func=_cmd_search)
 
     replay_parser = subparsers.add_parser(
@@ -884,7 +1063,28 @@ def build_parser() -> argparse.ArgumentParser:
     show_parser.add_argument("--out", default=DEFAULT_OUT,
                              help="results-store root searched for "
                                   "experiment names (default: results/)")
+    show_parser.add_argument("--timing", action="store_true",
+                             help="append per-cell trial-duration "
+                                  "percentiles and the slowest trial's "
+                                  "span tree (from telemetry.jsonl)")
     show_parser.set_defaults(func=_cmd_show)
+
+    top_parser = subparsers.add_parser(
+        "top", help="tail a campaign's telemetry event log: progress, "
+                    "rates, counters, busiest cells")
+    top_parser.add_argument(
+        "target",
+        help="a run directory, or an experiment name (latest stored run)")
+    top_parser.add_argument("--out", default=DEFAULT_OUT,
+                            help="results-store root searched for "
+                                 "experiment names (default: results/)")
+    top_parser.add_argument("--interval", type=float, default=2.0,
+                            help="seconds between refreshes "
+                                 "(default: 2.0)")
+    top_parser.add_argument("--once", action="store_true",
+                            help="print one snapshot and exit (for "
+                                 "scripts and CI)")
+    top_parser.set_defaults(func=_cmd_top)
     return parser
 
 

@@ -142,7 +142,8 @@ class Experiment:
             store: Optional[RowStore] = None,
             policy: Optional[Any] = None,
             health: Optional[RunHealth] = None,
-            backend: Optional[str] = None) -> List[Row]:
+            backend: Optional[str] = None,
+            telemetry: Optional[Any] = None) -> List[Row]:
         """Run the experiment and return its rows.
 
         Without a ``store`` the whole spec batch goes through one
@@ -165,6 +166,11 @@ class Experiment:
         ``"auto"`` with numpy present) routes vectorizable spec groups
         through :class:`~repro.batched.runner.BatchedRunner`, with
         bit-identical results by contract.
+
+        ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry`
+        recorder: each pending cell's consumption becomes a ``cell``
+        span and the expected trial total is gauged up front.  Rows are
+        bit-identical with or without it.
         """
         from repro.runner.supervisor import ExecutionPolicy
 
@@ -178,8 +184,11 @@ class Experiment:
         rows: List[Row] = []
         if store is None:
             batch = [spec for cell in cells for spec in cell.specs]
+            if telemetry is not None:
+                telemetry.gauge("trials_total", len(batch))
             results = run_trials(batch, workers=workers, policy=policy,
-                                 health=health, backend=backend)
+                                 health=health, backend=backend,
+                                 telemetry=telemetry)
             offset = 0
             for cell in cells:
                 chunk = results[offset:offset + len(cell.specs)]
@@ -190,13 +199,25 @@ class Experiment:
             completed = store.completed_rows()
             pending = [(index, cell) for index, cell in enumerate(cells)
                        if cell_key_id(cell.key) not in completed]
+            if telemetry is not None:
+                telemetry.gauge("cells_total", len(cells))
+                telemetry.gauge("trials_total", sum(
+                    len(cell.specs) for _, cell in pending))
             stream = iter_trials(
                 [spec for _, cell in pending for spec in cell.specs],
                 workers=workers, policy=policy, health=health,
-                backend=backend)
+                backend=backend, telemetry=telemetry)
             fresh: Dict[int, Row] = {}
             for index, cell in pending:
-                chunk = [next(stream) for _ in cell.specs]
+                if telemetry is not None:
+                    # Chunk/trial spans recorded while this cell's
+                    # results are consumed nest under its span; a chunk
+                    # crossing cell boundaries books under the cell that
+                    # consumed it (documented in PERFORMANCE.md).
+                    with telemetry.span("cell", cell=list(cell.key)):
+                        chunk = [next(stream) for _ in cell.specs]
+                else:
+                    chunk = [next(stream) for _ in cell.specs]
                 if _cell_failed(chunk):
                     # The failure is already in the health ledger; the
                     # cell stays unwritten so a resume retries it.

@@ -14,6 +14,16 @@ tables:
   the manifest — a debounced manifest may lag a killed run by a few
   rows).
 
+Runs executed with telemetry additionally contribute two tables mounted
+from their ``telemetry.jsonl`` event logs (empty tables when no run has
+one):
+
+* ``spans`` — one record per span (``span_id``, ``parent_id``, ``name``,
+  ``t0``, ``dur`` plus every span attribute seen — ``tag``, ``scope``,
+  ``ok``...), with ``experiment``/``run_id`` joined in.
+* ``metrics`` — one record per counter/gauge event (``kind``, ``name``,
+  ``t``, ``delta``, ``value``), same join columns.
+
 Reading goes through :func:`repro.results.columnar.read_records`, so a
 compacted store scans at columnar speed, and through
 :func:`repro.results.store.scan_runs`, so corrupt run directories are
@@ -29,11 +39,13 @@ same mounted data — the engines differ only in SQL coverage.
 from __future__ import annotations
 
 import json
+import os
 import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.results.store import scan_runs
+from repro.telemetry import TELEMETRY_NAME, read_events
 
 #: Manifest-derived columns of the ``rows`` table, in order.  A row
 #: column with the same name (e.g. the experiments' own ``experiment``
@@ -50,8 +62,22 @@ RUNS_COLUMNS = (
     "health_failures", "params",
 )
 
+#: Fixed columns of the ``spans`` table; span attributes follow
+#: dynamically in first-seen order.
+SPAN_META_COLUMNS = (
+    "experiment", "run_id", "span_id", "parent_id", "name", "t0", "dur",
+)
+
+METRICS_COLUMNS = (
+    "experiment", "run_id", "kind", "name", "t", "delta", "value",
+)
+
+#: The fixed event-schema keys of a span event; everything else on the
+#: event is a free-form attribute.
+_SPAN_EVENT_KEYS = ("kind", "id", "parent", "name", "t0", "dur")
+
 _IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
-_RESERVED_TABLES = {"rows", "runs"}
+_RESERVED_TABLES = {"rows", "runs", "spans", "metrics"}
 
 
 class QueryError(ValueError):
@@ -102,8 +128,12 @@ def mount_store(root: str,
     """Flatten every loadable run under ``root`` into rows/runs tables."""
     rows_table: List[Dict[str, Any]] = []
     runs_table: List[Dict[str, Any]] = []
+    spans_table: List[Dict[str, Any]] = []
+    metrics_table: List[Dict[str, Any]] = []
     row_columns: List[str] = list(ROW_META_COLUMNS)
     seen_columns = set(row_columns)
+    span_columns: List[str] = list(SPAN_META_COLUMNS)
+    span_seen = set(span_columns)
     experiments: List[str] = []
     for run_dir, manifest, records in scan_runs(root,
                                                 experiment=experiment):
@@ -148,9 +178,45 @@ def mount_store(root: str,
                                        allow_nan=False)
                 flattened[column] = value
             rows_table.append(flattened)
+        for event in read_events(os.path.join(run_dir, TELEMETRY_NAME)):
+            kind = event.get("kind")
+            if kind == "span":
+                span_row: Dict[str, Any] = {
+                    "experiment": name, "run_id": run_id,
+                    "span_id": event.get("id"),
+                    "parent_id": event.get("parent"),
+                    "name": event.get("name"),
+                    "t0": event.get("t0"),
+                    "dur": event.get("dur"),
+                }
+                for key, value in event.items():
+                    if key in _SPAN_EVENT_KEYS:
+                        continue
+                    if key not in span_seen:
+                        span_seen.add(key)
+                        span_columns.append(key)
+                    if isinstance(value, (dict, list)):
+                        value = json.dumps(value, sort_keys=True,
+                                           allow_nan=False)
+                    span_row[key] = value
+                spans_table.append(span_row)
+            elif kind in ("counter", "gauge"):
+                value = event.get("value")
+                if isinstance(value, (dict, list)):
+                    value = json.dumps(value, sort_keys=True,
+                                       allow_nan=False)
+                metrics_table.append({
+                    "experiment": name, "run_id": run_id,
+                    "kind": kind, "name": event.get("name"),
+                    "t": event.get("t"),
+                    "delta": event.get("delta"), "value": value,
+                })
     return MountedStore(
-        tables={"rows": rows_table, "runs": runs_table},
-        columns={"rows": row_columns, "runs": list(RUNS_COLUMNS)},
+        tables={"rows": rows_table, "runs": runs_table,
+                "spans": spans_table, "metrics": metrics_table},
+        columns={"rows": row_columns, "runs": list(RUNS_COLUMNS),
+                 "spans": span_columns,
+                 "metrics": list(METRICS_COLUMNS)},
         experiments=experiments)
 
 
@@ -272,11 +338,13 @@ def run_query(root: str, sql: str, engine: str = "auto") -> QueryResult:
 
 
 __all__ = [
+    "METRICS_COLUMNS",
     "MountedStore",
     "QueryError",
     "QueryResult",
     "ROW_META_COLUMNS",
     "RUNS_COLUMNS",
+    "SPAN_META_COLUMNS",
     "duckdb_ok",
     "mount_store",
     "query_store",

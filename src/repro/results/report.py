@@ -15,6 +15,9 @@ content-addressed run directories) into three sections:
   recomputed from the latest completed run's data rows through the
   experiment registry's ``finalize`` hook, exactly as ``repro show``
   renders them.  They are never stored, so the report re-derives them.
+* ``timing`` — per-cell trial-duration percentiles aggregated from the
+  ``telemetry.jsonl`` event logs of every run that has one (runs
+  executed without telemetry simply contribute nothing).
 
 Percentiles use linear interpolation between closest ranks (numpy's
 default), implemented here without numpy so the report works on the
@@ -24,11 +27,13 @@ pure-fallback install.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.results.columnar import records_to_rows
 from repro.results.store import latest_run, read_manifest, scan_runs
+from repro.telemetry import TELEMETRY_NAME, read_events
 
 DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
 
@@ -48,6 +53,7 @@ class Report:
     finalizers: List[Dict[str, Any]]
     percentiles: Tuple[float, ...] = DEFAULT_PERCENTILES
     skipped_columns: List[str] = field(default_factory=list)
+    timing: List[Dict[str, Any]] = field(default_factory=list)
 
     def as_json(self) -> str:
         payload = {
@@ -58,6 +64,7 @@ class Report:
             "cells": self.cells,
             "finalizers": self.finalizers,
             "skipped_columns": self.skipped_columns,
+            "timing": self.timing,
         }
         return json.dumps(payload, indent=2, sort_keys=True,
                           allow_nan=False) + "\n"
@@ -111,8 +118,11 @@ def build_report(root: str, experiment: str,
     cell_order: List[str] = []
     column_order: List[str] = []
     skipped: List[str] = []
+    telemetry_events: List[Dict[str, Any]] = []
     for run_dir, manifest, records in scan_runs(root, experiment=name):
         run_id = run_dir.rstrip("/").rsplit("/", 1)[-1]
+        telemetry_events.extend(read_events(
+            os.path.join(run_dir, TELEMETRY_NAME)))
         health = manifest.get("run_health") or {}
         columnar = manifest.get("columnar") or {}
         runs_section.append({
@@ -170,9 +180,13 @@ def build_report(root: str, experiment: str,
             records, _ = read_records(newest)
             finalizers = registered.finalize(records_to_rows(records),
                                              manifest["params"])
+    from repro.telemetry.timing import cell_timing_rows
+
+    timing = cell_timing_rows(telemetry_events, percentiles=percentiles)
     return Report(experiment=name, root=root, runs=runs_section,
                   cells=cells_section, finalizers=finalizers,
-                  percentiles=percentiles, skipped_columns=skipped)
+                  percentiles=percentiles, skipped_columns=skipped,
+                  timing=timing)
 
 
 def render_report_text(report: Report) -> str:
@@ -192,6 +206,10 @@ def render_report_text(report: Report) -> str:
         sections.append("")
         sections.append("-- recomputed finalizer rows (never stored) --")
         sections.append(format_table(report.finalizers))
+    if report.timing:
+        sections.append("")
+        sections.append("-- trial timing (telemetry, ms) --")
+        sections.append(format_table(report.timing))
     if report.skipped_columns:
         sections.append("")
         sections.append("non-numeric columns not aggregated: "

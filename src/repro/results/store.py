@@ -113,6 +113,8 @@ class RunStore(RowStore):
         self._created_at: Optional[str] = None
         self._health_block: Optional[Dict[str, Any]] = None
         self._columnar_block: Optional[Dict[str, Any]] = None
+        self._telemetry: Optional[Any] = None
+        self._telemetry_block: Optional[Dict[str, Any]] = None
         self._rows_since_manifest = 0
         self._last_manifest_write = 0.0
         if os.path.exists(self._manifest_path):
@@ -120,6 +122,7 @@ class RunStore(RowStore):
             self._created_at = manifest.get("created_at")
             self._health_block = manifest.get("run_health")
             self._columnar_block = manifest.get("columnar")
+            self._telemetry_block = manifest.get("telemetry")
             stored_backend = manifest.get("backend")
             if backend is None:
                 # A read-only open keeps whatever the run recorded.
@@ -148,6 +151,26 @@ class RunStore(RowStore):
                               wall_time=store._manifest_wall_time())
         return store
 
+    # -- telemetry ----------------------------------------------------
+    def attach_telemetry(self, telemetry: Optional[Any]) -> None:
+        """Point a telemetry recorder's sink at this run's event log.
+
+        From here on the recorder appends to ``telemetry.jsonl`` in the
+        run directory, the store mirrors its row/manifest writes into
+        its counters, and every manifest rewrite summarizes it into the
+        ``telemetry`` block (merged over previous segments exactly like
+        ``run_health``).  Duck-typed: anything with ``sink`` /
+        ``count`` / ``summary`` works.
+        """
+        self._telemetry = telemetry
+        if telemetry is not None and getattr(telemetry, "sink", 0) is None:
+            from repro.telemetry import TELEMETRY_NAME
+            telemetry.sink = os.path.join(self.path, TELEMETRY_NAME)
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        if self._telemetry is not None:
+            self._telemetry.count(name, delta)
+
     # -- the RowStore contract ---------------------------------------
     def completed_rows(self) -> Dict[str, Row]:
         return {key: row for key, (_, row) in self._rows.items()}
@@ -170,6 +193,7 @@ class RunStore(RowStore):
             handle.write(payload + "\n")
             handle.flush()
         self._rows[key_id] = (record["index"], record["row"])
+        self._count("rows_written")
         # Keep row_count reasonably current for a killed run without an
         # O(rows) whole-manifest rewrite per row: debounced, and exact
         # again at the next open()/finish().
@@ -183,11 +207,17 @@ class RunStore(RowStore):
         """Fold one execution's health ledger into the manifest.
 
         Counters accumulate across resumed runs; a clean ledger is a
-        no-op (the manifest keeps its existing block untouched).
+        no-op (the manifest keeps its existing block untouched).  The
+        store's own live ledger (``health=`` at construction) is already
+        folded in by every manifest rewrite — mid-run manifests of a
+        killed run carry it too, not just finished ones — so recording
+        it here only forces an immediate rewrite.
         """
         if health is None or health.clean:
             return
-        self._health_block = merge_health_block(self._health_block, health)
+        if health is not self._health:
+            self._health_block = merge_health_block(self._health_block,
+                                                    health)
         self._write_manifest(completed=self._manifest_completed(),
                              wall_time=self._manifest_wall_time())
 
@@ -271,12 +301,34 @@ class RunStore(RowStore):
             self._rows[cell_key_id(record["key"])] = \
                 (record["index"], record["row"])
 
+    def _current_health_block(self) -> Dict[str, Any]:
+        """The manifest's ``run_health`` block as of right now.
+
+        The baseline (previous segments, plus legacy ledgers recorded
+        explicitly) is folded with the *live* ledger at write time; the
+        baseline itself is never mutated in-process, so repeated
+        rewrites of a still-running segment cannot double-count it.
+        """
+        block = self._health_block
+        if self._health is not None and not self._health.clean:
+            block = merge_health_block(block, self._health)
+        return block if block is not None else empty_health_block()
+
+    def _current_telemetry_block(self) -> Optional[Dict[str, Any]]:
+        """The ``telemetry`` block: prior segments + the live recorder."""
+        if self._telemetry is None:
+            return self._telemetry_block
+        from repro.telemetry import merge_telemetry_block
+        return merge_telemetry_block(self._telemetry_block,
+                                     self._telemetry.summary())
+
     def _write_manifest(self, completed: bool,
                         wall_time: Optional[float]) -> None:
         from repro import __version__
 
         if self._created_at is None:
             self._created_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        self._count("manifest_flushes")
         manifest = {
             "experiment": self.experiment,
             "params": self.params,
@@ -289,9 +341,11 @@ class RunStore(RowStore):
             "wall_time_seconds": wall_time,
             "row_count": len(self._rows),
             "columnar": self._columnar_block,
-            "run_health": self._health_block if self._health_block
-            is not None else empty_health_block(),
+            "run_health": self._current_health_block(),
         }
+        telemetry_block = self._current_telemetry_block()
+        if telemetry_block is not None:
+            manifest["telemetry"] = telemetry_block
         tmp_path = self._manifest_path + ".tmp"
         with open(tmp_path, "w") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True,

@@ -17,14 +17,20 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Iterable, Iterator, List, Optional, Sequence
+from typing import (Any, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 from repro.runner.health import TrialFailure
 from repro.runner.spec import TrialSpec, execute_trial
-from repro.simulation.trace import ExecutionResult
 
 _WORKERS_ENV = "REPRO_WORKERS"
+
+#: A worker-timed execution: ``(result_or_failure, t0_epoch, duration)``.
+#: Worker entry points return these so the supervising process can emit
+#: trial spans without a second clock read across the process boundary.
+TimedResult = Tuple[Any, float, float]
 
 
 def default_workers() -> int:
@@ -43,9 +49,21 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
-def _execute_chunk(specs: Sequence[TrialSpec]) -> List[ExecutionResult]:
-    """Worker-side entry point: run one chunk of specs serially."""
-    return [execute_trial(spec) for spec in specs]
+def _execute_chunk(specs: Sequence[TrialSpec]) -> List[TimedResult]:
+    """Worker-side entry point: run one chunk of specs serially.
+
+    Each result comes back with its wall-clock start and duration,
+    measured in the worker, so the parent can record per-trial spans —
+    the timing rides the existing result pickle and never perturbs the
+    trial itself (all randomness is in the seeded spec).
+    """
+    timed: List[TimedResult] = []
+    for spec in specs:
+        t0 = time.time()
+        start = time.perf_counter()
+        timed.append((execute_trial(spec), t0,
+                      time.perf_counter() - start))
+    return timed
 
 
 def _mp_context():
@@ -65,16 +83,23 @@ class ParallelRunner:
         chunk_size: how many specs each dispatched task carries.  ``None``
             picks a size that gives every worker several chunks (dynamic
             load balancing without drowning in pickling overhead).
+        telemetry: an optional :class:`~repro.telemetry.Telemetry`
+            recorder; when present, every chunk and trial is recorded as
+            a span (timed worker-side) and the ``trials_completed``
+            counter advances per chunk.  Never read by trial execution
+            itself — results are bit-identical with or without it.
     """
 
     def __init__(self, workers: Optional[int] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 telemetry: Optional[Any] = None) -> None:
         self.workers = default_workers() if workers is None else workers
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size
+        self.telemetry = telemetry
 
     def run(self, specs: Iterable[TrialSpec]) -> List[Any]:
         """Execute every spec, returning results in submission order."""
@@ -100,7 +125,8 @@ class ParallelRunner:
         workers = min(self.workers, len(spec_list))
         if workers <= 0 or len(spec_list) == 1:
             for spec in spec_list:
-                yield from self._recover_chunk([spec])
+                yield from self._emit_chunk(
+                    [spec], self._recover_chunk([spec]), scope="serial")
             return
         chunks = self._chunk_specs(spec_list)
         with ProcessPoolExecutor(max_workers=workers,
@@ -110,11 +136,13 @@ class ParallelRunner:
             for chunk, future in zip(chunks, futures):
                 try:
                     batch = future.result()
+                    scope = "worker"
                 except Exception:
                     # The chunk (or its whole worker) failed; recover it
                     # serially so sibling chunks' results are kept.
                     batch = self._recover_chunk(chunk)
-                yield from batch
+                    scope = "serial"
+                yield from self._emit_chunk(chunk, batch, scope=scope)
 
     def _chunk_specs(self, spec_list: List[TrialSpec]
                      ) -> List[List[TrialSpec]]:
@@ -126,48 +154,83 @@ class ParallelRunner:
                 for i in range(0, len(spec_list), chunk)]
 
     @staticmethod
-    def _recover_chunk(specs: Sequence[TrialSpec]) -> List[Any]:
+    def _recover_chunk(specs: Sequence[TrialSpec]) -> List[TimedResult]:
         """Execute specs one by one, recording raisers as failures."""
-        recovered: List[Any] = []
+        recovered: List[TimedResult] = []
         for spec in specs:
+            t0 = time.time()
+            start = time.perf_counter()
             try:
-                recovered.append(execute_trial(spec))
+                result: Any = execute_trial(spec)
             except Exception as error:
-                recovered.append(TrialFailure(
-                    spec=spec, error=repr(error), attempts=1))
+                result = TrialFailure(
+                    spec=spec, error=repr(error), attempts=1)
+            recovered.append((result, t0, time.perf_counter() - start))
         return recovered
+
+    def _emit_chunk(self, specs: Sequence[TrialSpec],
+                    batch: Sequence[TimedResult],
+                    scope: str) -> Iterator[Any]:
+        """Record one chunk's spans/counters and yield its bare results.
+
+        The single unwrap point of the timed-triple worker protocol:
+        with telemetry attached, a multi-trial chunk becomes a ``chunk``
+        span (worker busy-time) parenting one ``trial`` span per spec;
+        a singleton chunk records just the trial span under whatever
+        span the consumer currently has open.
+        """
+        telemetry = self.telemetry
+        if telemetry is not None and batch:
+            parent = telemetry.current_span
+            if len(batch) > 1:
+                parent = telemetry.record_span(
+                    "chunk",
+                    min(entry[1] for entry in batch),
+                    sum(entry[2] for entry in batch),
+                    trials=len(batch), scope=scope)
+            for spec, (result, t0, duration) in zip(specs, batch):
+                telemetry.record_span(
+                    "trial", t0, duration, parent=parent, tag=spec.tag,
+                    scope=scope, ok=not isinstance(result, TrialFailure))
+            telemetry.count("trials_completed", len(batch))
+        for result, _, _ in batch:
+            yield result
 
 
 def run_trials(specs: Iterable[TrialSpec],
                workers: Optional[int] = None,
                chunk_size: Optional[int] = None,
                policy=None, health=None,
-               backend: Optional[str] = None) -> List[Any]:
+               backend: Optional[str] = None,
+               telemetry: Optional[Any] = None) -> List[Any]:
     """Convenience wrapper: build a runner and execute the specs.
 
     Passing ``policy`` and/or ``health`` selects the supervising executor
     (retries, watchdog, chaos injection) instead of the bare runner.
     ``backend`` selects the execution backend (``trial`` / ``batched`` /
-    ``auto``); see :func:`_build_runner`.
+    ``auto``); ``telemetry`` attaches a span/metric recorder (results
+    are bit-identical either way); see :func:`_build_runner`.
     """
     return _build_runner(workers, chunk_size, policy, health,
-                         backend).run(specs)
+                         backend, telemetry).run(specs)
 
 
 def iter_trials(specs: Iterable[TrialSpec],
                 workers: Optional[int] = None,
                 chunk_size: Optional[int] = None,
                 policy=None, health=None,
-                backend: Optional[str] = None) -> Iterator[Any]:
+                backend: Optional[str] = None,
+                telemetry: Optional[Any] = None) -> Iterator[Any]:
     """Convenience wrapper: stream results in submission order.
 
     Passing ``policy`` and/or ``health`` selects the supervising executor
     (retries, watchdog, chaos injection) instead of the bare runner.
     ``backend`` selects the execution backend (``trial`` / ``batched`` /
-    ``auto``); see :func:`_build_runner`.
+    ``auto``); ``telemetry`` attaches a span/metric recorder (results
+    are bit-identical either way); see :func:`_build_runner`.
     """
     return _build_runner(workers, chunk_size, policy, health,
-                         backend).iter_results(specs)
+                         backend, telemetry).iter_results(specs)
 
 
 def _chaos_active(policy) -> bool:
@@ -179,7 +242,8 @@ def _chaos_active(policy) -> bool:
 
 
 def _build_runner(workers, chunk_size, policy, health,
-                  backend: Optional[str] = None) -> Any:
+                  backend: Optional[str] = None,
+                  telemetry: Optional[Any] = None) -> Any:
     """Assemble the executor stack for one run.
 
     The per-trial layer is :class:`ParallelRunner`, or
@@ -189,20 +253,22 @@ def _build_runner(workers, chunk_size, policy, health,
     per-trial concept, so chaos forces the per-trial path), that layer is
     wrapped in :class:`~repro.batched.runner.BatchedRunner`, which
     vectorizes supported spec groups and falls back to the wrapped runner
-    for the rest.
+    for the rest.  ``telemetry`` is shared by every layer of the stack.
     """
     # Imported lazily: both modules build on this one.
     from repro.batched.support import BACKEND_BATCHED, resolve_backend
     resolved = resolve_backend(backend)
     if policy is None and health is None:
-        runner: Any = ParallelRunner(workers=workers, chunk_size=chunk_size)
+        runner: Any = ParallelRunner(workers=workers, chunk_size=chunk_size,
+                                     telemetry=telemetry)
     else:
         from repro.runner.supervisor import SupervisedRunner
         runner = SupervisedRunner(workers=workers, chunk_size=chunk_size,
-                                  policy=policy, health=health)
+                                  policy=policy, health=health,
+                                  telemetry=telemetry)
     if resolved == BACKEND_BATCHED and not _chaos_active(policy):
         from repro.batched.runner import BatchedRunner
-        runner = BatchedRunner(runner)
+        runner = BatchedRunner(runner, telemetry=telemetry)
     return runner
 
 

@@ -39,13 +39,15 @@ import time
 from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
                                 ProcessPoolExecutor, wait)
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import (Any, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from repro.faults.injector import (QUARANTINE_SCOPE, SERIAL_SCOPE,
                                    WORKER_SCOPE, ChaosConfig, FaultInjector,
                                    build_injector)
 from repro.runner.health import RunHealth, TrialFailure
-from repro.runner.parallel import ParallelRunner, _mp_context
+from repro.runner.parallel import (ParallelRunner, TimedResult,
+                                   _mp_context)
 from repro.runner.spec import TrialSpec, execute_trial
 
 
@@ -108,11 +110,23 @@ class ExecutionPolicy:
 
 def _execute_chunk_guarded(specs: Sequence[TrialSpec],
                            injector: Optional[FaultInjector],
-                           attempt: int) -> List[Any]:
-    """Worker-side entry point: run one chunk, applying injected faults."""
-    if injector is None:
-        return [execute_trial(spec) for spec in specs]
-    return [injector.apply(spec, attempt, WORKER_SCOPE) for spec in specs]
+                           attempt: int) -> List[TimedResult]:
+    """Worker-side entry point: run one chunk, applying injected faults.
+
+    Like :func:`repro.runner.parallel._execute_chunk`, each result comes
+    back as a ``(result, t0, duration)`` triple timed in the worker, so
+    the supervisor can record trial spans without re-clocking.
+    """
+    timed: List[TimedResult] = []
+    for spec in specs:
+        t0 = time.time()
+        start = time.perf_counter()
+        if injector is None:
+            result = execute_trial(spec)
+        else:
+            result = injector.apply(spec, attempt, WORKER_SCOPE)
+        timed.append((result, t0, time.perf_counter() - start))
+    return timed
 
 
 class SupervisedRunner(ParallelRunner):
@@ -126,16 +140,31 @@ class SupervisedRunner(ParallelRunner):
             no watchdog, no chaos).
         health: the :class:`RunHealth` ledger to record recovery actions
             into (default: a fresh one, exposed as ``self.health``).
+        telemetry: as in :class:`ParallelRunner`; the supervisor
+            additionally mirrors its recovery counters (retries, pool
+            rebuilds, timeouts, quarantines) into the event stream and
+            gauges the in-flight chunk count.
     """
 
     def __init__(self, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
                  policy: Optional[ExecutionPolicy] = None,
-                 health: Optional[RunHealth] = None) -> None:
-        super().__init__(workers=workers, chunk_size=chunk_size)
+                 health: Optional[RunHealth] = None,
+                 telemetry: Optional[Any] = None) -> None:
+        super().__init__(workers=workers, chunk_size=chunk_size,
+                         telemetry=telemetry)
         self.policy = policy if policy is not None else ExecutionPolicy()
         self.health = health if health is not None else RunHealth()
         self.injector = build_injector(self.policy.chaos)
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        """Mirror a recovery action into the telemetry counters."""
+        if self.telemetry is not None:
+            self.telemetry.count(name, delta)
+
+    def _gauge(self, name: str, value: Any) -> None:
+        if self.telemetry is not None:
+            self.telemetry.gauge(name, value)
 
     # -- public surface ------------------------------------------------
     def iter_results(self, specs: Iterable[TrialSpec]) -> Iterator[Any]:
@@ -148,7 +177,9 @@ class SupervisedRunner(ParallelRunner):
         workers = min(self.workers, len(spec_list))
         if workers <= 0 or len(spec_list) == 1:
             for spec in spec_list:
-                yield self._run_serial(spec, scope=SERIAL_SCOPE)
+                yield from self._emit_chunk(
+                    [spec], [self._run_serial(spec, scope=SERIAL_SCOPE)],
+                    scope="serial")
             return
         yield from self._supervise(self._chunk_specs(spec_list), workers)
 
@@ -160,32 +191,40 @@ class SupervisedRunner(ParallelRunner):
         return execute_trial(spec)
 
     def _run_serial(self, spec: TrialSpec, scope: str,
-                    base_attempt: int = 0) -> Any:
+                    base_attempt: int = 0) -> TimedResult:
         """One spec through the in-process retry loop of ``scope``.
 
         Quarantine gets a single shot: its chunk already spent the whole
-        retry budget, so a failure there is final.
+        retry budget, so a failure there is final.  Returns a timed
+        triple covering the final attempt only — backoff sleeps and
+        failed attempts are recovery overhead, not trial time.
         """
         rounds = 1 if scope == QUARANTINE_SCOPE \
             else self.policy.retry.max_retries + 1
         attempt = base_attempt
         last_error: Optional[BaseException] = None
+        t0 = duration = 0.0
         for round_index in range(rounds):
+            t0 = time.time()
+            start = time.perf_counter()
             try:
-                return self._execute_once(spec, attempt, scope)
+                result = self._execute_once(spec, attempt, scope)
+                return (result, t0, time.perf_counter() - start)
             except Exception as error:
+                duration = time.perf_counter() - start
                 last_error = error
                 attempt += 1
                 if round_index < rounds - 1:
                     self.health.retries += 1
+                    self._count("retries")
                     time.sleep(self.policy.retry.delay(attempt))
         failure = TrialFailure(spec=spec, error=repr(last_error),
                                attempts=attempt)
         self.health.record_failure(failure)
-        return failure
+        return (failure, t0, duration)
 
     def _quarantine(self, specs: Sequence[TrialSpec],
-                    base_attempt: int) -> List[Any]:
+                    base_attempt: int) -> List[TimedResult]:
         """Re-run an exhausted chunk spec-by-spec in this process.
 
         Isolates the poison trial: innocents produce their (bit-identical)
@@ -193,6 +232,7 @@ class SupervisedRunner(ParallelRunner):
         :class:`TrialFailure`.
         """
         self.health.quarantined += len(specs)
+        self._count("quarantined", len(specs))
         return [self._run_serial(spec, scope=QUARANTINE_SCOPE,
                                  base_attempt=base_attempt)
                 for spec in specs]
@@ -201,10 +241,17 @@ class SupervisedRunner(ParallelRunner):
     def _supervise(self, chunks: List[List[TrialSpec]],
                    workers: int) -> Iterator[Any]:
         attempts = [0] * len(chunks)
-        resolved: Dict[int, List[Any]] = {}
+        resolved: Dict[int, Tuple[List[TimedResult], str]] = {}
         next_yield = 0
         pool: Optional[ProcessPoolExecutor] = None
         futures: Dict[Any, int] = {}
+        self._gauge("workers", workers)
+
+        def gauge_flight() -> None:
+            self._gauge("in_flight", len(futures))
+            self._gauge("queue_depth",
+                        max(0, len(chunks) - next_yield - len(resolved)
+                            - len(futures)))
 
         def submit(index: int) -> bool:
             """Dispatch one chunk; False when the pool is already broken."""
@@ -221,9 +268,11 @@ class SupervisedRunner(ParallelRunner):
             attempts[index] += 1
             if attempts[index] <= self.policy.retry.max_retries:
                 self.health.retries += 1
+                self._count("retries")
                 return False
-            resolved[index] = self._quarantine(chunks[index],
-                                               attempts[index])
+            resolved[index] = (self._quarantine(chunks[index],
+                                                attempts[index]),
+                               QUARANTINE_SCOPE)
             return True
 
         def rebuild_after_failure() -> None:
@@ -231,6 +280,7 @@ class SupervisedRunner(ParallelRunner):
             self._teardown(pool)
             pool = None
             self.health.pool_rebuilds += 1
+            self._count("pool_rebuilds")
             affected = sorted(futures.values())
             futures = {}
             for index in affected:
@@ -242,7 +292,9 @@ class SupervisedRunner(ParallelRunner):
         try:
             while next_yield < len(chunks):
                 while next_yield < len(chunks) and next_yield in resolved:
-                    yield from resolved.pop(next_yield)
+                    batch, scope = resolved.pop(next_yield)
+                    yield from self._emit_chunk(chunks[next_yield], batch,
+                                                scope=scope)
                     next_yield += 1
                 if next_yield >= len(chunks):
                     break
@@ -257,6 +309,7 @@ class SupervisedRunner(ParallelRunner):
                             break
                     if broken:
                         rebuild_after_failure()
+                    gauge_flight()
                     continue
                 if not futures:
                     # Unreached in normal operation (unresolved chunks
@@ -273,6 +326,7 @@ class SupervisedRunner(ParallelRunner):
                     # No chunk finished inside the watchdog window: at
                     # least one worker is hung.  Kill and rebuild.
                     self.health.timeouts += 1
+                    self._count("timeouts")
                     rebuild_after_failure()
                     continue
                 pool_broken = False
@@ -280,7 +334,7 @@ class SupervisedRunner(ParallelRunner):
                     index = futures.pop(future)
                     error = future.exception()
                     if error is None:
-                        resolved[index] = future.result()
+                        resolved[index] = (future.result(), WORKER_SCOPE)
                     elif isinstance(error, BrokenExecutor):
                         pool_broken = True
                         settle(index)
@@ -294,6 +348,7 @@ class SupervisedRunner(ParallelRunner):
                                 pool_broken = True
                 if pool_broken:
                     rebuild_after_failure()
+                gauge_flight()
         finally:
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)

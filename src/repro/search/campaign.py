@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import math
 import os
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -350,7 +351,8 @@ def run_search_campaign(params: Dict[str, Any],
                         store: Optional[RunStore] = None,
                         policy: Optional[Any] = None,
                         health: Optional[Any] = None,
-                        backend: Optional[str] = None) -> SearchReport:
+                        backend: Optional[str] = None,
+                        telemetry: Optional[Any] = None) -> SearchReport:
     """Run (or resume) a search campaign.
 
     Args:
@@ -366,6 +368,10 @@ def run_search_campaign(params: Dict[str, Any],
         backend: execution backend (``trial`` / ``batched`` / ``auto``);
             ``batched`` vectorizes each generation's candidate
             evaluations, with bit-identical scores by contract.
+        telemetry: an optional :class:`~repro.telemetry.Telemetry`
+            recorder; each generation becomes a ``generation`` span and
+            the expected evaluation total is gauged up front.  Scores
+            are bit-identical with or without it.
     """
     from repro.experiments.base import cell_key_id
     from repro.runner.health import RunHealth, TrialFailure
@@ -384,6 +390,9 @@ def run_search_campaign(params: Dict[str, Any],
         params=params,
         run_dir=store.path if store is not None else None)
     best_so_far = -math.inf
+    if telemetry is not None:
+        telemetry.gauge("trials_total",
+                        params["generations"] * params["population"])
     for generation in range(params["generations"]):
         genomes = strategy.propose(generation)
         assert all(is_admissible(genome, params["n"], params["t"])
@@ -393,38 +402,46 @@ def run_search_campaign(params: Dict[str, Any],
                 for candidate in range(len(genomes))]
         pending = [candidate for candidate, key in enumerate(keys)
                    if cell_key_id(key) not in completed]
-        stream = iter_trials(
-            [candidate_spec(params, objective, genomes[candidate],
-                            generation, candidate)
-             for candidate in pending],
-            workers=workers, policy=policy, health=health, backend=backend)
         fresh: Dict[int, Dict[str, Any]] = {}
-        for candidate in pending:
-            result = next(stream)
-            if isinstance(result, TrialFailure):
-                # The failure is in the health ledger; the candidate gets
-                # a synthesized in-memory row (never persisted, so a
-                # resumed campaign retries it) scoring -inf below.
-                report.failed_evaluations += 1
-                fresh[candidate] = {
-                    "generation": generation, "candidate": candidate,
-                    "score": None, "undecided_windows": 0,
-                    "decided": False, "windows": 0, "total_resets": 0,
-                    "ok": None, "violations": "-",
-                    "best_score": _score_to_stored(best_so_far),
-                    "counterexample": None, "failed": True}
-                continue
-            row = _evaluation_row(params, objective, checker, generation,
-                                  candidate, result, best_so_far)
-            if row["ok"] is False and store is not None:
-                row["counterexample"] = _shrink_finding(
-                    params, genomes[candidate], store, generation,
-                    candidate)
-            fresh[candidate] = row
-            report.computed_evaluations += 1
-            if store is not None:
-                index = generation * params["population"] + candidate
-                store.write_row(index, keys[candidate], row)
+        with ExitStack() as span_scope:
+            if telemetry is not None:
+                span_scope.enter_context(telemetry.span(
+                    "generation", generation=generation,
+                    candidates=len(pending)))
+            stream = iter_trials(
+                [candidate_spec(params, objective, genomes[candidate],
+                                generation, candidate)
+                 for candidate in pending],
+                workers=workers, policy=policy, health=health,
+                backend=backend, telemetry=telemetry)
+            for candidate in pending:
+                result = next(stream)
+                if isinstance(result, TrialFailure):
+                    # The failure is in the health ledger; the candidate
+                    # gets a synthesized in-memory row (never persisted,
+                    # so a resumed campaign retries it) scoring -inf
+                    # below.
+                    report.failed_evaluations += 1
+                    fresh[candidate] = {
+                        "generation": generation, "candidate": candidate,
+                        "score": None, "undecided_windows": 0,
+                        "decided": False, "windows": 0, "total_resets": 0,
+                        "ok": None, "violations": "-",
+                        "best_score": _score_to_stored(best_so_far),
+                        "counterexample": None, "failed": True}
+                    continue
+                row = _evaluation_row(params, objective, checker,
+                                      generation, candidate, result,
+                                      best_so_far)
+                if row["ok"] is False and store is not None:
+                    row["counterexample"] = _shrink_finding(
+                        params, genomes[candidate], store, generation,
+                        candidate)
+                fresh[candidate] = row
+                report.computed_evaluations += 1
+                if store is not None:
+                    index = generation * params["population"] + candidate
+                    store.write_row(index, keys[candidate], row)
         rows = [completed.get(cell_key_id(key), fresh.get(candidate))
                 for candidate, key in enumerate(keys)]
         # A failed candidate scores -inf: it never becomes the best, and

@@ -20,6 +20,8 @@ Check families (see ``STATIC_ANALYSIS.md`` for the full catalog):
   non-finite floats.
 * **F** — fault tolerance: the resilient executor may catch broadly,
   but every broad handler re-raises or records the failure.
+* **T** — telemetry isolation: simulation-layer code never imports
+  :mod:`repro.telemetry`, and telemetry code never draws entropy.
 
 Findings are silenced per line with ``# repro: allow[CODE] -- why``; a
 suppression without the justification is itself a finding (``X1``).
@@ -42,6 +44,7 @@ from repro.staticcheck.checks_parity import check_parity
 from repro.staticcheck.checks_registry import check_registry
 from repro.staticcheck.checks_serialization import (SLOTS_MANIFEST,
                                                     check_serialization)
+from repro.staticcheck.checks_telemetry import check_telemetry
 from repro.staticcheck.index import ScenarioTables, SymbolIndex
 from repro.staticcheck.report import (CHECK_CODES, CHECK_FAMILIES, Finding,
                                       LintResult, apply_suppressions,
@@ -49,7 +52,7 @@ from repro.staticcheck.report import (CHECK_CODES, CHECK_FAMILIES, Finding,
 from repro.staticcheck.walker import ProjectFiles, walk_project
 
 ALL_CHECKS = (check_determinism, check_faults, check_parity,
-              check_registry, check_serialization)
+              check_registry, check_serialization, check_telemetry)
 
 
 def default_package_root() -> str:

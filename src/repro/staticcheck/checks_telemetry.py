@@ -1,0 +1,91 @@
+"""T — telemetry isolation checks.
+
+The observer-effect guarantee (result rows bit-identical with telemetry
+on, off, or resumed mid-run) rests on two one-way walls that are easy
+to breach by accident and invisible at runtime until a row changes:
+
+* **T1** — simulation-layer code (``simulation/``, ``protocols/``,
+  ``adversaries/``) must never import :mod:`repro.telemetry`.  The
+  execution layers *above* the simulation record spans around it;  the
+  moment protocol code can see the recorder, instrumentation can leak
+  into decision logic.
+* **T2** — telemetry code must never draw entropy: no ``seeded_rng``
+  calls, no ``random.Random`` / ``SystemRandom`` construction.  The
+  recorder observes wall-clock time only; pulling from a seeded stream
+  would shift every downstream draw and silently change results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.staticcheck.index import SymbolIndex
+from repro.staticcheck.report import Finding
+from repro.staticcheck.walker import ProjectFiles, SourceFile
+
+T1_SCOPE_DIRS = ("simulation", "protocols", "adversaries")
+"""Package subdirectories that must stay telemetry-blind (T1)."""
+
+T2_SCOPE_DIR = "telemetry"
+"""Package subdirectory that must stay entropy-free (T2)."""
+
+_ENTROPY_CALLS = frozenset({"seeded_rng", "Random", "SystemRandom"})
+
+
+def _first_segment(source: SourceFile) -> str:
+    return source.relpath.split("/", 1)[0]
+
+
+def _imports_telemetry(node: ast.AST) -> bool:
+    if isinstance(node, ast.Import):
+        return any(alias.name.split(".")[:2] == ["repro", "telemetry"]
+                   for alias in node.names)
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if module.split(".")[:2] == ["repro", "telemetry"]:
+            return True
+        return module == "repro" and \
+            any(alias.name == "telemetry" for alias in node.names)
+    return False
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def check_telemetry(project: ProjectFiles,
+                    index: SymbolIndex) -> List[Finding]:
+    """Run the T checks over the simulation and telemetry layers."""
+    findings: List[Finding] = []
+    for relpath in sorted(project.files):
+        source = project.files[relpath]
+        first = _first_segment(source)
+        if first in T1_SCOPE_DIRS:
+            for node in ast.walk(source.tree):
+                if _imports_telemetry(node):
+                    findings.append(Finding(
+                        code="T1", path=relpath, line=node.lineno,
+                        message="simulation-layer module imports "
+                                "repro.telemetry (protocol/adversary "
+                                "code must stay telemetry-blind; record "
+                                "spans in the execution layer instead)"))
+        elif first == T2_SCOPE_DIR:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.Call) and \
+                        _call_name(node) in _ENTROPY_CALLS:
+                    findings.append(Finding(
+                        code="T2", path=relpath, line=node.lineno,
+                        message="telemetry code draws entropy "
+                                "(seeded_rng / random.Random); the "
+                                "recorder may read wall-clock time but "
+                                "never a random stream"))
+    return findings
+
+
+__all__ = ["T1_SCOPE_DIRS", "T2_SCOPE_DIR", "check_telemetry"]

@@ -54,6 +54,9 @@ CHECK_CODES: Dict[str, str] = {
     # never swallow.
     "F1": "broad except on the execution path that neither re-raises nor "
           "records the failure",
+    # T — telemetry isolation: observation must never perturb results.
+    "T1": "simulation-layer module imports repro.telemetry",
+    "T2": "telemetry code draws entropy (seeded_rng / random.Random)",
     # X — linter meta.
     "X1": "suppression comment without a justification",
 }
@@ -65,6 +68,7 @@ CHECK_FAMILIES: Dict[str, str] = {
     "R": "registry",
     "S": "serialization",
     "F": "fault tolerance",
+    "T": "telemetry",
     "X": "linter meta",
 }
 

@@ -1,0 +1,140 @@
+"""Opt-in profiling hooks: cProfile plus named phase timers.
+
+A :class:`ProfileSession` rides along a campaign on
+``telemetry.profile`` when the CLI gets ``--profile``.  It wraps the
+campaign body in :mod:`cProfile` (deterministic tracing — the profiler
+observes wall-clock but never perturbs results) and collects *phase
+timers*: named ``perf_counter`` buckets the execution layers fill in —
+the batched engine reports its ``deliver``/``tally``/``decide`` window
+split through :meth:`phase_dict`.
+
+Artifacts persist through ``RunStore.artifact_path`` under
+``profile/``: the raw ``pstats`` dump (load with :mod:`pstats`), a
+plain-text top-function listing, and the phase split as JSON.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+from typing import Any, Dict, Optional
+
+PROFILE_DIR = "profile"
+"""Run-directory subdirectory the profile artifacts land in."""
+
+STATS_NAME = "campaign.pstats"
+TOP_NAME = "top-functions.txt"
+PHASES_NAME = "phases.json"
+
+_TOP_LIMIT = 30
+
+
+class ProfileSession:
+    """One campaign's profiling state: cProfile plus phase timers."""
+
+    def __init__(self) -> None:
+        self.profile = cProfile.Profile()
+        self.phase_timers: Dict[str, float] = {}
+        self._running = False
+
+    # -- lifecycle ----------------------------------------------------
+    def start(self) -> None:
+        if not self._running:
+            self._running = True
+            self.profile.enable()
+
+    def stop(self) -> None:
+        if self._running:
+            self._running = False
+            self.profile.disable()
+
+    def __enter__(self) -> "ProfileSession":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- phase timers -------------------------------------------------
+    def phase_dict(self, prefix: str = "") -> Dict[str, float]:
+        """A timer dict for one execution component to accumulate into.
+
+        The returned dict *is* live session state: callers add seconds
+        under their phase names (``deliver``, ``tally``, ``decide``) and
+        the totals appear in ``phases.json``.  A ``prefix`` namespaces a
+        component (``batched.deliver``) without extra plumbing.
+        """
+        if not prefix:
+            return self.phase_timers
+        return _PrefixedTimers(self.phase_timers, prefix)
+
+    # -- persistence --------------------------------------------------
+    def save(self, directory: str) -> Dict[str, str]:
+        """Write the profile artifacts into ``directory``.
+
+        Returns the artifact file names written (relative to
+        ``directory``), for the CLI to report.
+        """
+        import os
+
+        self.stop()
+        os.makedirs(directory, exist_ok=True)
+        written: Dict[str, str] = {}
+        stats_path = os.path.join(directory, STATS_NAME)
+        self.profile.dump_stats(stats_path)
+        written["stats"] = STATS_NAME
+        text = io.StringIO()
+        stats = pstats.Stats(self.profile, stream=text)
+        stats.sort_stats("cumulative").print_stats(_TOP_LIMIT)
+        with open(os.path.join(directory, TOP_NAME), "w") as handle:
+            handle.write(text.getvalue())
+        written["top"] = TOP_NAME
+        with open(os.path.join(directory, PHASES_NAME), "w") as handle:
+            json.dump({"phase_seconds": {name: self.phase_timers[name]
+                                         for name in
+                                         sorted(self.phase_timers)}},
+                      handle, indent=2, sort_keys=True, allow_nan=False)
+            handle.write("\n")
+        written["phases"] = PHASES_NAME
+        return written
+
+
+class _PrefixedTimers(dict):
+    """A dict view accumulating ``name`` as ``prefix.name`` in a target."""
+
+    def __init__(self, target: Dict[str, float], prefix: str) -> None:
+        super().__init__()
+        self._target = target
+        self._prefix = prefix
+
+    def __setitem__(self, name: str, value: float) -> None:
+        super().__setitem__(name, value)
+        self._target[f"{self._prefix}.{name}"] = value
+
+    def __missing__(self, name: str) -> float:
+        return 0.0
+
+
+def profile_session(telemetry: Optional[Any]) -> Optional[ProfileSession]:
+    """The :class:`ProfileSession` riding on ``telemetry``, if any.
+
+    The execution layers call this instead of touching
+    ``telemetry.profile`` directly, so a ``None`` recorder (telemetry
+    off) and a recorder without profiling both read as "no profiling".
+    """
+    if telemetry is None:
+        return None
+    session = getattr(telemetry, "profile", None)
+    return session if isinstance(session, ProfileSession) else None
+
+
+__all__ = [
+    "PHASES_NAME",
+    "PROFILE_DIR",
+    "ProfileSession",
+    "STATS_NAME",
+    "TOP_NAME",
+    "profile_session",
+]

@@ -1,0 +1,135 @@
+"""The live campaign progress renderer (a :class:`Telemetry` listener).
+
+Subscribed to a recorder with ``telemetry.add_listener(renderer)``, the
+renderer watches the ``trials_completed`` counter against the
+``trials_total`` gauge and keeps one status line fresh: completed/total,
+trial rate, ETA, and the executor gauges (workers, in-flight chunks).
+
+On a TTY the line redraws in place (``\\r``, rate-limited to
+:data:`TTY_INTERVAL` seconds); on anything else it degrades to plain
+lines at most every :data:`PLAIN_INTERVAL` seconds — a quick run that
+finishes inside the interval prints nothing at all, so captured CLI
+output in tests and pipelines stays clean.  Output goes to stderr:
+stdout carries the campaign's actual tables.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+TTY_INTERVAL = 0.1
+"""Minimum seconds between in-place redraws on a TTY."""
+
+PLAIN_INTERVAL = 5.0
+"""Minimum seconds between plain progress lines off a TTY."""
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds:  # negative or NaN: unknown
+        return "?"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class ProgressRenderer:
+    """Render live campaign progress from the telemetry event stream.
+
+    Args:
+        label: campaign label leading every line (``run E2``, ``fuzz``).
+        stream: output stream (default: ``sys.stderr``).
+        interactive: force TTY / plain mode (default: autodetect from
+            ``stream.isatty()``).
+    """
+
+    def __init__(self, label: str, stream: Optional[TextIO] = None,
+                 interactive: Optional[bool] = None) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        if interactive is None:
+            try:
+                interactive = bool(self.stream.isatty())
+            except (AttributeError, ValueError):
+                interactive = False
+        self.interactive = interactive
+        self._started = time.time()
+        # A TTY line can start redrawing immediately; plain mode waits a
+        # full interval first, so runs shorter than it print nothing.
+        self._last_render = 0.0 if self.interactive else self._started
+        self._completed = 0
+        self._total: Optional[int] = None
+        self._gauges: Dict[str, Any] = {}
+        self._line_open = False
+
+    # -- the Telemetry listener protocol ------------------------------
+    def __call__(self, event: Dict[str, Any]) -> None:
+        kind = event.get("kind")
+        if kind == "counter" and event.get("name") == "trials_completed":
+            self._completed += int(event.get("delta") or 0)
+        elif kind == "gauge":
+            name = event.get("name")
+            if name == "trials_total":
+                self._total = int(event.get("value") or 0)
+            elif name is not None:
+                self._gauges[name] = event.get("value")
+        else:
+            return
+        interval = TTY_INTERVAL if self.interactive else PLAIN_INTERVAL
+        now = time.time()
+        if now - self._last_render < interval:
+            return
+        self._last_render = now
+        self._render(now)
+
+    # -- rendering ----------------------------------------------------
+    def status_line(self, now: Optional[float] = None) -> str:
+        """The current one-line status (without any terminal control)."""
+        now = time.time() if now is None else now
+        elapsed = max(now - self._started, 1e-9)
+        rate = self._completed / elapsed
+        parts = [self.label]
+        if self._total:
+            parts.append(f"{self._completed}/{self._total} trials")
+            remaining = self._total - self._completed
+            eta = remaining / rate if rate > 0 else float("nan")
+            parts.append(f"{rate:.1f}/s")
+            parts.append(f"eta {_format_eta(eta)}")
+        else:
+            parts.append(f"{self._completed} trials")
+            parts.append(f"{rate:.1f}/s")
+        for name in ("workers", "in_flight", "queue_depth"):
+            value = self._gauges.get(name)
+            if value is not None:
+                parts.append(f"{name}={value}")
+        return "  ".join(parts)
+
+    def _render(self, now: float) -> None:
+        line = self.status_line(now)
+        try:
+            if self.interactive:
+                self.stream.write("\r\x1b[K" + line)
+                self._line_open = True
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass  # a closed/broken stderr must never kill the campaign
+
+    def close(self) -> None:
+        """Clear the in-place line (TTY) so the next output starts clean."""
+        if not self._line_open:
+            return
+        self._line_open = False
+        try:
+            self.stream.write("\r\x1b[K")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+
+
+__all__ = ["PLAIN_INTERVAL", "TTY_INTERVAL", "ProgressRenderer"]

@@ -229,7 +229,8 @@ def run_fuzz_campaign(params: Dict[str, Any],
                       minimize: bool = False,
                       policy: Optional[Any] = None,
                       health: Optional[Any] = None,
-                      backend: Optional[str] = None) -> FuzzReport:
+                      backend: Optional[str] = None,
+                      telemetry: Optional[Any] = None) -> FuzzReport:
     """Run (or resume) a fuzz campaign.
 
     Args:
@@ -247,6 +248,9 @@ def run_fuzz_campaign(params: Dict[str, Any],
         backend: execution backend (``trial`` / ``batched`` / ``auto``);
             ``batched`` vectorizes supported fuzz trials, with
             bit-identical results by contract.
+        telemetry: an optional :class:`~repro.telemetry.Telemetry`
+            recorder threaded through the trial fan-out; rows are
+            bit-identical with or without it.
     """
     import os
 
@@ -264,9 +268,11 @@ def run_fuzz_campaign(params: Dict[str, Any],
         store.completed_rows() if store is not None else {}
     pending = [index for index in range(params["trials"])
                if cell_key_id((FUZZ_EXPERIMENT, index)) not in completed]
+    if telemetry is not None:
+        telemetry.gauge("trials_total", len(pending))
     stream = iter_trials([specs[index] for index in pending],
                          workers=workers, policy=policy, health=health,
-                         backend=backend)
+                         backend=backend, telemetry=telemetry)
     fresh: Dict[int, Dict[str, Any]] = {}
     failed = 0
     for index in pending:

@@ -1,0 +1,9 @@
+"""T1 fixture: simulation-layer code importing the telemetry package."""
+
+from repro.telemetry import Telemetry
+
+
+def deliver_window(state, messages):
+    with Telemetry().span("deliver"):
+        state.apply(messages)
+    return state

@@ -1,0 +1,8 @@
+"""T2 fixture: telemetry code drawing from a seeded random stream."""
+
+import random
+
+
+def jittered_flush_interval(seed, base=1.0):
+    rng = random.Random(seed)
+    return base + rng.uniform(0.0, 0.25)

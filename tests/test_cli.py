@@ -206,3 +206,82 @@ def test_show_renders_finalize_rows(tmp_path, capsys):
     assert main(["show", "E2", "--out", out_dir]) == 0
     out = capsys.readouterr().out
     assert "E2-fit" in out  # synthetic fit row recomputed on render
+
+
+E2_TINY_ARGS = ["--set", "ns=(12,)", "--set", "trials=1",
+                "--set", "use_resets=True", "--seed", "9",
+                "--workers", "0"]
+
+
+def _only_run_dir(out_dir):
+    return os.path.dirname(next(
+        os.path.join(root, name)
+        for root, dirs, files in os.walk(out_dir)
+        for name in files if name == "manifest.json"))
+
+
+def test_run_profile_records_telemetry_and_artifacts(tmp_path, capsys):
+    out_dir = str(tmp_path / "results")
+    assert main(["run", "E2", "--out", out_dir, "--profile"]
+                + E2_TINY_ARGS) == 0
+    capsys.readouterr()
+    run_dir = _only_run_dir(out_dir)
+
+    from repro.telemetry import TELEMETRY_NAME, read_events
+    events = read_events(os.path.join(run_dir, TELEMETRY_NAME))
+    names = {event.get("name") for event in events
+             if event.get("kind") == "span"}
+    assert {"campaign", "cell", "trial"} <= names
+    for artifact in ("campaign.pstats", "top-functions.txt",
+                     "phases.json"):
+        assert os.path.isfile(os.path.join(run_dir, "profile", artifact))
+    manifest = json.load(open(os.path.join(run_dir, "manifest.json")))
+    assert manifest["telemetry"]["spans"] > 0
+
+    assert main(["show", "E2", "--out", out_dir, "--timing"]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry:" in out
+    assert "trial timing (telemetry, ms)" in out
+    assert "slowest trial:" in out
+
+    assert main(["top", "E2", "--out", out_dir, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "== top:" in out and "completed" in out
+
+    assert main(["query",
+                 "SELECT name, count(*) AS n FROM spans "
+                 "GROUP BY name ORDER BY name",
+                 "--out", out_dir, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "campaign" in [row[0] for row in payload["rows"]]
+
+
+def test_run_no_telemetry_leaves_no_trace(tmp_path, capsys):
+    out_dir = str(tmp_path / "results")
+    assert main(["run", "E2", "--out", out_dir, "--no-telemetry"]
+                + E2_TINY_ARGS) == 0
+    capsys.readouterr()
+    run_dir = _only_run_dir(out_dir)
+    assert not os.path.exists(os.path.join(run_dir, "telemetry.jsonl"))
+    manifest = json.load(open(os.path.join(run_dir, "manifest.json")))
+    assert "telemetry" not in manifest
+
+    assert main(["show", "E2", "--out", out_dir, "--timing"]) == 0
+    assert "no trial timing recorded" in capsys.readouterr().out
+
+
+def test_telemetry_flag_never_changes_rows(tmp_path, capsys):
+    plain_dir = str(tmp_path / "plain")
+    traced_dir = str(tmp_path / "traced")
+    assert main(["run", "E2", "--out", plain_dir, "--no-telemetry"]
+                + E2_TINY_ARGS) == 0
+    assert main(["run", "E2", "--out", traced_dir, "--profile"]
+                + E2_TINY_ARGS) == 0
+    capsys.readouterr()
+
+    def stored_rows(out_dir):
+        with open(os.path.join(_only_run_dir(out_dir),
+                               "rows.jsonl")) as handle:
+            return [json.loads(line) for line in handle]
+
+    assert stored_rows(plain_dir) == stored_rows(traced_dir)
